@@ -1,0 +1,152 @@
+//! Microbenchmarks of the simulator's core components, plus ablations of
+//! the design choices called out in DESIGN.md (event-calendar throughput,
+//! lock-table conflict handling, processor-sharing CPU math, per-algorithm
+//! simulation cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddbm_cc::{make_manager, LockMode, LockTable, Ts, TxnMeta};
+use ddbm_config::{Algorithm, Config, FileId, PageId, TxnId};
+use ddbm_core::run_config;
+use ddbm_resource::Cpu;
+use denet::{EventCalendar, SimDuration, SimRng, SimTime};
+use std::hint::black_box;
+
+fn calendar(c: &mut Criterion) {
+    c.bench_function("calendar/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal = EventCalendar::new();
+            let mut rng = SimRng::from_seed(1);
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime(rng.uniform_u64(i, i + 1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = cal.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn lock_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_table");
+    group.bench_function("grant_release_no_conflict", |b| {
+        b.iter(|| {
+            let mut lt = LockTable::new();
+            for t in 0..200u64 {
+                for p in 0..8u64 {
+                    lt.request(
+                        TxnId(t),
+                        PageId {
+                            file: FileId((t % 8) as usize),
+                            page: p + 100 * t,
+                        },
+                        LockMode::Read,
+                    );
+                }
+            }
+            for t in 0..200u64 {
+                black_box(lt.release_all(TxnId(t)));
+            }
+        })
+    });
+    group.bench_function("conflict_queue_churn", |b| {
+        b.iter(|| {
+            let mut lt = LockTable::new();
+            let page = PageId {
+                file: FileId(0),
+                page: 0,
+            };
+            for t in 0..100u64 {
+                lt.request(TxnId(t), page, LockMode::Write);
+            }
+            for t in 0..100u64 {
+                black_box(lt.release_all(TxnId(t)));
+            }
+        })
+    });
+    group.bench_function("waits_for_edges_100_waiters", |b| {
+        let mut lt = LockTable::new();
+        let page = PageId {
+            file: FileId(0),
+            page: 0,
+        };
+        for t in 0..100u64 {
+            lt.request(TxnId(t), page, LockMode::Write);
+        }
+        b.iter(|| black_box(lt.waits_for_edges().len()))
+    });
+    group.finish();
+}
+
+fn cpu_model(c: &mut Criterion) {
+    c.bench_function("cpu/processor_sharing_churn", |b| {
+        b.iter(|| {
+            let mut cpu: Cpu<u64> = Cpu::new(1e6);
+            let mut now = SimTime::ZERO;
+            let mut done = 0usize;
+            for i in 0..500u64 {
+                done += usize::from(cpu.submit_shared(now, i, 1_000.0 + (i % 7) as f64).is_some());
+                if i % 3 == 0 {
+                    done += usize::from(cpu.submit_message(now, 10_000 + i, 500.0).is_some());
+                }
+                now += SimDuration::from_micros(200);
+                done += cpu.advance(now).len();
+            }
+            while let Some(t) = cpu.next_completion() {
+                done += cpu.advance(t).len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn cc_managers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_request_path");
+    for algo in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, algo| {
+            b.iter(|| {
+                let mut m = make_manager(*algo);
+                for t in 0..64u64 {
+                    let meta = TxnMeta {
+                        id: TxnId(t),
+                        initial_ts: Ts::new(t, TxnId(t)),
+                        run_ts: Ts::new(t, TxnId(t)),
+                    };
+                    for p in 0..16u64 {
+                        let page = PageId {
+                            file: FileId((p % 4) as usize),
+                            page: (t * 3 + p) % 64,
+                        };
+                        black_box(m.request_access(&meta, page, p % 4 == 0));
+                    }
+                    m.certify(&meta, Ts::new(1_000 + t, TxnId(t)));
+                    black_box(m.commit(TxnId(t)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: whole-simulation cost per algorithm on the paper workload —
+/// the "how expensive is each CC manager end to end" comparison.
+fn whole_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_240_commits");
+    group.sample_size(10);
+    for algo in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, algo| {
+            let mut config = Config::paper(*algo, 8, 8, 4.0);
+            config.control.warmup_commits = 40;
+            config.control.measure_commits = 200;
+            b.iter(|| {
+                let r = run_config(black_box(config.clone())).expect("valid");
+                black_box(r.commits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, calendar, lock_table, cpu_model, cc_managers, whole_sim);
+criterion_main!(benches);

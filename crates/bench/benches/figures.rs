@@ -1,0 +1,33 @@
+//! One Criterion bench per paper figure.
+//!
+//! Each bench runs the figure's *characteristic simulation configuration*
+//! (see `bench::figure_bench_configs`) to a fixed commit count, so `cargo
+//! bench` both exercises every figure's code path and tracks simulator
+//! performance over time. The actual figure regeneration — full sweeps over
+//! think times and algorithms — is the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- --full --out results/
+//! ```
+
+use bench::figure_bench_configs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddbm_core::run_config;
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for (id, config) in figure_bench_configs() {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report = run_config(black_box(config.clone())).expect("valid config");
+                black_box(report.commits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro [--full|--quick|--smoke] [--threads N] [--out DIR] [--verbose] [FIGURE ...]
+//!
+//!   --full      full think-time grid, long runs (the EXPERIMENTS.md numbers)
+//!   --quick     thin grid, short runs (default; minutes)
+//!   --smoke     two think times, very short runs (CI)
+//!   --threads   worker threads (default: all cores)
+//!   --out DIR   also write <DIR>/<figure>.txt and <DIR>/<figure>.json
+//!   FIGURE      any of fig02..fig17, e17..e24 (default: all)
+//! ```
+
+use ddbm_experiments::{chart, figures, FigureResult, Profile, Runner};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    profile: Profile,
+    profile_name: &'static str,
+    threads: usize,
+    out: Option<PathBuf>,
+    verbose: bool,
+    charts: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut profile = Profile::quick();
+    let mut profile_name = "quick";
+    let mut threads = 0usize;
+    let mut out = None;
+    let mut verbose = false;
+    let mut charts = false;
+    let mut ids = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--full" => {
+                profile = Profile::full();
+                profile_name = "full";
+            }
+            "--quick" => {
+                profile = Profile::quick();
+                profile_name = "quick";
+            }
+            "--smoke" => {
+                profile = Profile::smoke();
+                profile_name = "smoke";
+            }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--charts" => charts = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--full|--quick|--smoke] [--threads N] \
+                     [--out DIR] [--charts] [--verbose] [FIGURE ...]\nfigures: {}",
+                    figures::FIGURE_IDS.join(" ")
+                );
+                std::process::exit(0);
+            }
+            id if figures::FIGURE_IDS.contains(&id) => ids.push(id.to_string()),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if ids.is_empty() {
+        ids = figures::FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args {
+        profile,
+        profile_name,
+        threads,
+        out,
+        verbose,
+        charts,
+        ids,
+    })
+}
+
+fn write_outputs(dir: &PathBuf, fig: &FigureResult) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.txt", fig.id)), fig.to_table())?;
+    // serde_json turns NaN into null, which cannot round-trip; replace with
+    // a sentinel that is obviously not data.
+    let mut clean = fig.clone();
+    for s in &mut clean.series {
+        for y in &mut s.ys {
+            if !y.is_finite() {
+                *y = -1.0;
+            }
+        }
+    }
+    std::fs::write(
+        dir.join(format!("{}.json", fig.id)),
+        serde_json::to_string_pretty(&clean).expect("figure serializes"),
+    )?;
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut runner = Runner::new(args.threads);
+    runner.verbose = args.verbose;
+    eprintln!(
+        "reproducing {} figure set(s) with the {} profile ({} think times)…",
+        args.ids.len(),
+        args.profile_name,
+        args.profile.think_times.len(),
+    );
+    let t0 = Instant::now();
+    for id in &args.ids {
+        let figs = figures::by_id(&runner, &args.profile, id).expect("id validated in parse_args");
+        for fig in &figs {
+            println!("{}", fig.to_table());
+            if args.charts {
+                println!("{}", chart::render(fig, chart::ChartSize::default()));
+            }
+            if let Some(dir) = &args.out {
+                if let Err(e) = write_outputs(dir, fig) {
+                    eprintln!("warning: could not write {}: {e}", fig.id);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "done: {} simulations in {:.1?} ({} worker threads)",
+        runner.executed(),
+        t0.elapsed(),
+        if args.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+        } else {
+            args.threads
+        },
+    );
+}

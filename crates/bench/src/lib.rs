@@ -1,0 +1,106 @@
+//! Shared helpers for the benchmark harness.
+
+use ddbm_config::{Algorithm, Config};
+
+/// A bench-sized configuration for one figure's characteristic setting:
+/// the paper workload scaled down (shorter runs) so a Criterion sample
+/// completes in tens of milliseconds while still exercising the exact code
+/// paths the figure depends on.
+pub fn bench_config(algo: Algorithm, nodes: usize, degree: usize, think: f64) -> Config {
+    let mut c = Config::paper(algo, nodes, degree, think);
+    c.control.warmup_commits = 20;
+    c.control.measure_commits = 120;
+    c
+}
+
+/// The per-figure characteristic configurations benched by
+/// `benches/figures.rs`: (figure id, configuration).
+pub fn figure_bench_configs() -> Vec<(&'static str, Config)> {
+    use Algorithm::*;
+    let mut out: Vec<(&'static str, Config)> = Vec::new();
+    // Figures 2–7: the 1-node vs 8-node scaling sweeps (2PL shown; the
+    // sweep covers all algorithms identically).
+    out.push(("fig02_throughput_1node", bench_config(TwoPhaseLocking, 1, 1, 4.0)));
+    out.push(("fig03_response_8node", bench_config(TwoPhaseLocking, 8, 8, 4.0)));
+    out.push(("fig04_tput_speedup", bench_config(BasicTimestampOrdering, 8, 8, 4.0)));
+    out.push(("fig05_resp_speedup", bench_config(WoundWait, 8, 8, 4.0)));
+    out.push(("fig06_disk_util", bench_config(NoDataContention, 8, 8, 4.0)));
+    out.push(("fig07_cpu_util", bench_config(NoDataContention, 1, 1, 4.0)));
+    // Figures 8–13: partitioning, small and large DB.
+    out.push(("fig08_partitioning_largedb", {
+        let mut c = bench_config(TwoPhaseLocking, 8, 8, 8.0);
+        c.database = ddbm_config::DatabaseParams::large(8);
+        c
+    }));
+    out.push(("fig09_partitioning_smalldb", bench_config(TwoPhaseLocking, 8, 1, 8.0)));
+    out.push(("fig10_degradation_8way", bench_config(Optimistic, 8, 8, 8.0)));
+    out.push(("fig11_degradation_1way", bench_config(Optimistic, 8, 1, 8.0)));
+    out.push(("fig12_aborts_8way", bench_config(WoundWait, 8, 8, 0.0)));
+    out.push(("fig13_aborts_1way", bench_config(WoundWait, 8, 1, 0.0)));
+    // Figures 14–17: overheads.
+    out.push(("fig14_no_overheads", {
+        let mut c = bench_config(TwoPhaseLocking, 8, 8, 0.0);
+        c.system.inst_per_startup = 0;
+        c.system.inst_per_msg = 0;
+        c
+    }));
+    out.push(("fig15_no_overheads_think8", {
+        let mut c = bench_config(TwoPhaseLocking, 8, 4, 8.0);
+        c.system.inst_per_startup = 0;
+        c.system.inst_per_msg = 0;
+        c
+    }));
+    out.push(("fig16_msg4k", {
+        let mut c = bench_config(Optimistic, 8, 8, 0.0);
+        c.system.inst_per_startup = 0;
+        c.system.inst_per_msg = 4_000;
+        c
+    }));
+    out.push(("fig17_msg4k_think8", {
+        let mut c = bench_config(Optimistic, 8, 8, 8.0);
+        c.system.inst_per_startup = 0;
+        c.system.inst_per_msg = 4_000;
+        c
+    }));
+    // Prose experiments.
+    out.push(("e17_4node_scaling", bench_config(TwoPhaseLocking, 4, 4, 4.0)));
+    out.push(("e18_blocking_time", bench_config(TwoPhaseLocking, 8, 1, 12.0)));
+    out.push(("e19_startup20k", {
+        let mut c = bench_config(BasicTimestampOrdering, 8, 8, 8.0);
+        c.system.inst_per_startup = 20_000;
+        c.system.inst_per_msg = 0;
+        c
+    }));
+    // Extension experiments.
+    out.push(("e20_sequential_exec", {
+        let mut c = bench_config(TwoPhaseLocking, 8, 8, 8.0);
+        c.workload.exec_pattern = ddbm_config::ExecPattern::Sequential;
+        c
+    }));
+    out.push(("e21_lock_timeout", {
+        let mut c = bench_config(TwoPhaseLockingTimeout, 8, 8, 1.0);
+        c.system.lock_timeout = denet::SimDuration::from_secs_f64(2.0);
+        c
+    }));
+    out.push(("e22_buffer_pool", {
+        let mut c = bench_config(TwoPhaseLocking, 8, 8, 1.0);
+        c.system.buffer_pages = 1_200; // half of a node's data
+        c
+    }));
+    out.push(("e23_wait_die", bench_config(WaitDie, 8, 8, 1.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_has_a_bench_config() {
+        let configs = figure_bench_configs();
+        assert_eq!(configs.len(), 23, "16 figures + 3 prose + 4 extension experiments");
+        for (id, c) in configs {
+            c.validate().unwrap_or_else(|e| panic!("{id}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! `ddbm-cc` — the four distributed concurrency control algorithms of the
+//! paper plus the NO_DC baseline, each behind the node-local [`CcManager`]
+//! trait.
+//!
+//! | Algorithm | Conflict detection | Resolution |
+//! |-----------|--------------------|------------|
+//! | [`twopl::TwoPhaseLocking`] | locks, as conflicts occur | blocking; deadlock victims aborted (local check + global Snoop) |
+//! | [`woundwait::WoundWait`]   | locks, as conflicts occur | blocking; deadlock *prevented* by wounding younger holders |
+//! | [`bto::BasicTimestampOrdering`] | timestamps, at access time | abort out-of-order requesters; Thomas write rule; reads wait on pending earlier writes |
+//! | [`opt::OptimisticCertification`] | at commit, in the 2PC prepare | abort transactions that fail certification |
+//! | [`nodc::NoDataContention`] | none | none (infinite-database baseline) |
+//!
+//! The managers are pure decision procedures — all CPU, I/O, and message
+//! costs are charged by the transaction manager in `ddbm-core` — so the
+//! algorithm semantics can be tested exhaustively without a simulator.
+
+pub mod bto;
+pub mod common;
+pub mod locktable;
+pub mod manager;
+pub mod nodc;
+pub mod opt;
+pub mod twopl;
+pub mod waitdie;
+pub mod waitsfor;
+pub mod woundwait;
+
+pub use common::{AccessReply, AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
+pub use locktable::{LockOutcome, LockTable};
+pub use manager::{make_manager, make_manager_with, CcManager};
+pub use waitsfor::{find_cycle, resolve_deadlocks};

@@ -1,0 +1,480 @@
+//! A per-node lock table shared by the 2PL and wound-wait managers.
+//!
+//! Read locks share; write locks exclude. Requests that cannot be granted
+//! join a FIFO queue, except lock *upgrades* (read → write by the holder),
+//! which queue ahead of ordinary waiters. On every release the longest
+//! grantable prefix of the queue is granted.
+
+use crate::common::LockMode;
+use ddbm_config::{PageId, TxnId};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock is held; proceed.
+    Granted,
+    /// The request joined the wait queue.
+    Queued,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WaitReq {
+    txn: TxnId,
+    mode: LockMode,
+    /// True when the transaction already holds a read lock on the page and
+    /// is converting it to a write lock.
+    is_upgrade: bool,
+}
+
+#[derive(Debug, Default)]
+struct PageLock {
+    holders: Vec<(TxnId, LockMode)>,
+    queue: VecDeque<WaitReq>,
+}
+
+impl PageLock {
+    fn can_grant(&self, req: &WaitReq) -> bool {
+        if req.is_upgrade {
+            // An upgrade is grantable only when the upgrader is the sole holder.
+            self.holders.len() == 1 && self.holders[0].0 == req.txn
+        } else {
+            self.holders
+                .iter()
+                .all(|(_, held)| held.compatible(req.mode))
+        }
+    }
+
+    fn grant(&mut self, req: WaitReq) {
+        if req.is_upgrade {
+            debug_assert_eq!(self.holders.len(), 1);
+            debug_assert_eq!(self.holders[0].0, req.txn);
+            self.holders[0].1 = LockMode::Write;
+        } else {
+            self.holders.push((req.txn, req.mode));
+        }
+    }
+}
+
+/// The lock table for the pages stored at one node.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    pages: HashMap<PageId, PageLock>,
+    /// Pages each transaction holds locks on (for O(1) release).
+    held: HashMap<TxnId, Vec<PageId>>,
+    /// Pages each transaction is queued on.
+    waiting: HashMap<TxnId, Vec<PageId>>,
+    /// Grant policy: `false` (default) is strict FIFO — a request compatible
+    /// with the holders still waits behind any queued request; `true` lets
+    /// compatible requests barge past the queue (readers never wait for
+    /// queued writers). Barging trades writer latency for fewer waits —
+    /// and, in distributed 2PL, far fewer queue-edge deadlocks.
+    barging: bool,
+}
+
+impl LockTable {
+    /// A strict-FIFO (no-barging) lock table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// A lock table with barging grants.
+    pub fn with_barging() -> LockTable {
+        LockTable {
+            barging: true,
+            ..LockTable::default()
+        }
+    }
+
+    /// Request a `mode` lock on `page` for `txn`.
+    ///
+    /// Re-requesting a page the transaction already holds is answered
+    /// `Granted` (upgrading read → write when needed, possibly by queueing an
+    /// upgrade request, in which case `Queued` is returned).
+    pub fn request(&mut self, txn: TxnId, page: PageId, mode: LockMode) -> LockOutcome {
+        let lock = self.pages.entry(page).or_default();
+        // Re-requesting while already queued is idempotent (strengthening a
+        // queued read to a write upgrades the queued request in place).
+        if let Some(queued) = lock.queue.iter_mut().find(|w| w.txn == txn) {
+            if mode == LockMode::Write {
+                queued.mode = LockMode::Write;
+            }
+            return LockOutcome::Queued;
+        }
+        let held_mode = lock
+            .holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m);
+        let req = match held_mode {
+            Some(LockMode::Write) => return LockOutcome::Granted,
+            Some(LockMode::Read) if mode == LockMode::Read => return LockOutcome::Granted,
+            Some(LockMode::Read) => WaitReq {
+                txn,
+                mode: LockMode::Write,
+                is_upgrade: true,
+            },
+            None => WaitReq {
+                txn,
+                mode,
+                is_upgrade: false,
+            },
+        };
+        // Ordinary requests respect the queue unless barging is enabled;
+        // upgrades always bypass it but queue ahead of ordinary waiters.
+        let grantable =
+            lock.can_grant(&req) && (req.is_upgrade || lock.queue.is_empty() || self.barging);
+        if grantable {
+            lock.grant(req);
+            if !req.is_upgrade {
+                self.held.entry(txn).or_default().push(page);
+            }
+            LockOutcome::Granted
+        } else {
+            if req.is_upgrade {
+                // Ahead of ordinary waiters, behind earlier upgrades.
+                let pos = lock.queue.iter().take_while(|w| w.is_upgrade).count();
+                lock.queue.insert(pos, req);
+            } else {
+                lock.queue.push_back(req);
+            }
+            self.waiting.entry(txn).or_default().push(page);
+            LockOutcome::Queued
+        }
+    }
+
+    /// Release everything `txn` holds or waits for. Returns the requests
+    /// granted as a consequence, in grant order.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, PageId)> {
+        let mut touched: Vec<PageId> = Vec::new();
+        if let Some(pages) = self.held.remove(&txn) {
+            for page in pages {
+                if let Some(lock) = self.pages.get_mut(&page) {
+                    lock.holders.retain(|(t, _)| *t != txn);
+                    touched.push(page);
+                }
+            }
+        }
+        if let Some(pages) = self.waiting.remove(&txn) {
+            for page in pages {
+                if let Some(lock) = self.pages.get_mut(&page) {
+                    lock.queue.retain(|w| w.txn != txn);
+                    touched.push(page);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let mut granted = Vec::new();
+        for page in touched {
+            granted.extend(self.grant_from_queue(page));
+        }
+        granted
+    }
+
+    /// Withdraw a single queued request (e.g. the requester was chosen as a
+    /// deadlock victim and will abort; its *held* locks stay put until the
+    /// abort protocol completes). Returns requests granted because the
+    /// withdrawal unclogged the queue.
+    pub fn cancel_wait(&mut self, txn: TxnId, page: PageId) -> Vec<(TxnId, PageId)> {
+        if let Some(lock) = self.pages.get_mut(&page) {
+            lock.queue.retain(|w| w.txn != txn);
+        }
+        if let Some(w) = self.waiting.get_mut(&txn) {
+            w.retain(|p| *p != page);
+            if w.is_empty() {
+                self.waiting.remove(&txn);
+            }
+        }
+        self.grant_from_queue(page)
+    }
+
+    /// Grant from `page`'s queue: the longest grantable prefix under strict
+    /// FIFO, or every grantable request under barging.
+    fn grant_from_queue(&mut self, page: PageId) -> Vec<(TxnId, PageId)> {
+        let barging = self.barging;
+        let mut granted = Vec::new();
+        let Entry::Occupied(mut e) = self.pages.entry(page) else {
+            return granted;
+        };
+        let mut scan = 0usize;
+        loop {
+            let lock = e.get_mut();
+            let Some(head) = lock.queue.get(scan).copied() else {
+                break;
+            };
+            if !lock.can_grant(&head) {
+                if barging {
+                    scan += 1;
+                    continue;
+                }
+                break;
+            }
+            lock.queue.remove(scan);
+            lock.grant(head);
+            if !head.is_upgrade {
+                self.held.entry(head.txn).or_default().push(page);
+            }
+            if let Some(w) = self.waiting.get_mut(&head.txn) {
+                w.retain(|p| *p != page);
+                if w.is_empty() {
+                    self.waiting.remove(&head.txn);
+                }
+            }
+            granted.push((head.txn, page));
+        }
+        if e.get().holders.is_empty() && e.get().queue.is_empty() {
+            e.remove();
+        }
+        granted
+    }
+
+    /// Current holders of `page`.
+    pub fn holders(&self, page: PageId) -> Vec<(TxnId, LockMode)> {
+        self.pages
+            .get(&page)
+            .map(|l| l.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Holders of `page` whose locks conflict with a `mode` request by `txn`.
+    pub fn conflicting_holders(&self, page: PageId, txn: TxnId, mode: LockMode) -> Vec<TxnId> {
+        let Some(lock) = self.pages.get(&page) else {
+            return Vec::new();
+        };
+        lock.holders
+            .iter()
+            .filter(|(t, held)| *t != txn && !held.compatible(mode))
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// Waits-for edges implied by the table: each waiter waits for every
+    /// conflicting holder and every conflicting request queued ahead of it
+    /// (FIFO queues make those real waits too).
+    pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        // Deterministic iteration: sort pages.
+        let mut pages: Vec<&PageId> = self.pages.keys().collect();
+        pages.sort();
+        for page in pages {
+            let lock = &self.pages[page];
+            for (i, w) in lock.queue.iter().enumerate() {
+                let blocks_w = |other_txn: TxnId, other_mode: LockMode, upgrade_pair: bool| {
+                    other_txn != w.txn && (!other_mode.compatible(w.mode) || upgrade_pair)
+                };
+                for (t, m) in &lock.holders {
+                    // An upgrade conflicts with every *other* holder even if
+                    // that holder's lock is a compatible read lock.
+                    let upgrade_pair = w.is_upgrade;
+                    if blocks_w(*t, *m, upgrade_pair) {
+                        edges.push((w.txn, *t));
+                    }
+                }
+                for ahead in lock.queue.iter().take(i) {
+                    if blocks_w(ahead.txn, ahead.mode, false) {
+                        edges.push((w.txn, ahead.txn));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// The queued requests on `page` in queue order.
+    pub fn waiters(&self, page: PageId) -> Vec<(TxnId, LockMode)> {
+        self.pages
+            .get(&page)
+            .map(|l| l.queue.iter().map(|w| (w.txn, w.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The pages on which `txn` is currently queued.
+    pub fn wait_pages(&self, txn: TxnId) -> Vec<PageId> {
+        self.waiting.get(&txn).cloned().unwrap_or_default()
+    }
+
+    /// True if `txn` holds or awaits any lock.
+    pub fn involves(&self, txn: TxnId) -> bool {
+        self.held.contains_key(&txn) || self.waiting.contains_key(&txn)
+    }
+
+    /// Number of pages with any lock state (tests/diagnostics).
+    pub fn active_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddbm_config::FileId;
+
+    fn page(n: u64) -> PageId {
+        PageId {
+            file: FileId(0),
+            page: n,
+        }
+    }
+
+    #[test]
+    fn shared_reads_exclusive_writes() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Read), LockOutcome::Granted);
+        assert_eq!(lt.request(TxnId(2), page(1), LockMode::Read), LockOutcome::Granted);
+        assert_eq!(lt.request(TxnId(3), page(1), LockMode::Write), LockOutcome::Queued);
+        assert_eq!(lt.request(TxnId(4), page(2), LockMode::Write), LockOutcome::Granted);
+        assert_eq!(lt.request(TxnId(5), page(2), LockMode::Read), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn fifo_no_barging_past_queued_writer() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Write); // queued
+        // A new read is compatible with holders but must not barge ahead of
+        // the queued writer.
+        assert_eq!(lt.request(TxnId(3), page(1), LockMode::Read), LockOutcome::Queued);
+        let granted = lt.release_all(TxnId(1));
+        assert_eq!(granted, vec![(TxnId(2), page(1))]);
+        let granted = lt.release_all(TxnId(2));
+        assert_eq!(granted, vec![(TxnId(3), page(1))]);
+    }
+
+    #[test]
+    fn batch_grant_of_compatible_prefix() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Write);
+        lt.request(TxnId(2), page(1), LockMode::Read);
+        lt.request(TxnId(3), page(1), LockMode::Read);
+        lt.request(TxnId(4), page(1), LockMode::Write);
+        let granted = lt.release_all(TxnId(1));
+        // Both reads granted together; the writer stays queued.
+        assert_eq!(granted, vec![(TxnId(2), page(1)), (TxnId(3), page(1))]);
+        assert_eq!(lt.holders(page(1)).len(), 2);
+    }
+
+    #[test]
+    fn reentrant_requests_are_granted() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Write), LockOutcome::Granted);
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Read), LockOutcome::Granted);
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Write), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn upgrade_of_sole_holder_is_immediate() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Write), LockOutcome::Granted);
+        assert_eq!(lt.holders(page(1)), vec![(TxnId(1), LockMode::Write)]);
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers_and_jumps_queue() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Read);
+        lt.request(TxnId(3), page(1), LockMode::Write); // ordinary waiter
+        // T1 upgrades: must wait for T2 but goes ahead of T3.
+        assert_eq!(lt.request(TxnId(1), page(1), LockMode::Write), LockOutcome::Queued);
+        let granted = lt.release_all(TxnId(2));
+        assert_eq!(granted, vec![(TxnId(1), page(1))]);
+        assert_eq!(lt.holders(page(1)), vec![(TxnId(1), LockMode::Write)]);
+        let granted = lt.release_all(TxnId(1));
+        assert_eq!(granted, vec![(TxnId(3), page(1))]);
+    }
+
+    #[test]
+    fn release_of_waiter_unclogs_queue() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Write); // queued
+        lt.request(TxnId(3), page(1), LockMode::Read); // queued behind writer
+        // The queued writer aborts: the read behind it becomes grantable.
+        let granted = lt.release_all(TxnId(2));
+        assert_eq!(granted, vec![(TxnId(3), page(1))]);
+    }
+
+    #[test]
+    fn waits_for_edges_cover_holders_and_queue() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Write);
+        lt.request(TxnId(3), page(1), LockMode::Write);
+        let mut edges = lt.waits_for_edges();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (TxnId(2), TxnId(1)), // waiter → holder
+                (TxnId(3), TxnId(1)), // waiter → holder
+                (TxnId(3), TxnId(2)), // waiter → conflicting waiter ahead
+            ]
+        );
+    }
+
+    #[test]
+    fn upgrade_edge_against_compatible_read_holder() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Read);
+        lt.request(TxnId(1), page(1), LockMode::Write); // upgrade, waits on T2
+        let edges = lt.waits_for_edges();
+        assert_eq!(edges, vec![(TxnId(1), TxnId(2))]);
+    }
+
+    #[test]
+    fn upgrade_deadlock_shows_in_edges() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Read);
+        lt.request(TxnId(1), page(1), LockMode::Write);
+        lt.request(TxnId(2), page(1), LockMode::Write);
+        let mut edges = lt.waits_for_edges();
+        edges.sort();
+        assert!(edges.contains(&(TxnId(1), TxnId(2))));
+        assert!(edges.contains(&(TxnId(2), TxnId(1))));
+    }
+
+    #[test]
+    fn conflicting_holders_ignores_self_and_compatible() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Read);
+        lt.request(TxnId(2), page(1), LockMode::Read);
+        assert_eq!(
+            lt.conflicting_holders(page(1), TxnId(3), LockMode::Write),
+            vec![TxnId(1), TxnId(2)]
+        );
+        assert!(lt
+            .conflicting_holders(page(1), TxnId(3), LockMode::Read)
+            .is_empty());
+        assert_eq!(
+            lt.conflicting_holders(page(1), TxnId(1), LockMode::Write),
+            vec![TxnId(2)]
+        );
+    }
+
+    #[test]
+    fn empty_pages_are_garbage_collected() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Write);
+        lt.request(TxnId(1), page(2), LockMode::Read);
+        assert_eq!(lt.active_pages(), 2);
+        assert!(lt.involves(TxnId(1)));
+        assert!(lt.release_all(TxnId(1)).is_empty());
+        assert_eq!(lt.active_pages(), 0);
+        assert!(!lt.involves(TxnId(1)));
+    }
+
+    #[test]
+    fn wait_pages_tracking() {
+        let mut lt = LockTable::new();
+        lt.request(TxnId(1), page(1), LockMode::Write);
+        lt.request(TxnId(2), page(1), LockMode::Write);
+        assert_eq!(lt.wait_pages(TxnId(2)), vec![page(1)]);
+        lt.release_all(TxnId(1));
+        assert!(lt.wait_pages(TxnId(2)).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Distributed two-phase locking (paper §2.2).
+//!
+//! Cohorts lock pages dynamically as they execute and hold all locks until
+//! the transaction commits or aborts. Read locks share; write locks exclude;
+//! an access that will update a page takes a write lock directly (the read
+//! and its conversion happen at the same access instant in this workload
+//! model). *Local* deadlock detection runs every time a cohort blocks;
+//! *global* deadlocks are found by the rotating Snoop, which unions
+//! [`CcManager::waits_for_edges`] from every node. In both cases the victim
+//! is the cycle member with the most recent initial startup time.
+
+use crate::common::{AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
+use crate::locktable::{LockOutcome, LockTable};
+use crate::manager::CcManager;
+use crate::waitsfor::resolve_deadlocks;
+use ddbm_config::{Algorithm, PageId, TxnId};
+use std::collections::HashMap;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct TwoPhaseLocking {
+    table: LockTable,
+    /// Initial startup timestamps of transactions seen at this node, for
+    /// local victim selection. Entries are dropped on commit/abort.
+    initial_ts: HashMap<TxnId, Ts>,
+    /// When false, blocked requests are never checked for deadlock (the
+    /// timeout-based 2PL variant: the transaction manager aborts cohorts
+    /// that stay blocked past `SystemParams::lock_timeout`).
+    detection: bool,
+}
+
+impl Default for TwoPhaseLocking {
+    fn default() -> Self {
+        TwoPhaseLocking::new()
+    }
+}
+
+impl TwoPhaseLocking {
+    /// Create a new instance.
+    pub fn new() -> TwoPhaseLocking {
+        TwoPhaseLocking {
+            table: LockTable::new(),
+            initial_ts: HashMap::new(),
+            detection: true,
+        }
+    }
+
+    /// The timeout-resolved variant ([`Algorithm::TwoPhaseLockingTimeout`]):
+    /// identical locking, but deadlocks are broken by the caller's lock-wait
+    /// timeout instead of detection.
+    pub fn without_detection() -> TwoPhaseLocking {
+        TwoPhaseLocking {
+            detection: false,
+            ..TwoPhaseLocking::new()
+        }
+    }
+
+    /// Switch this manager's lock table to barging grants (ablation:
+    /// compatible requests pass queued incompatible ones, eliminating
+    /// queue-edge waits at the price of possible writer starvation).
+    pub fn with_barging(mut self) -> TwoPhaseLocking {
+        self.table = LockTable::with_barging();
+        self
+    }
+
+    fn finish(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.initial_ts.remove(&txn);
+        ReleaseResponse {
+            granted: self.table.release_all(txn),
+            rejected: Vec::new(),
+            must_abort: Vec::new(),
+        }
+    }
+}
+
+impl CcManager for TwoPhaseLocking {
+    fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
+        self.initial_ts.insert(txn.id, txn.initial_ts);
+        let mode = if write { LockMode::Write } else { LockMode::Read };
+        match self.table.request(txn.id, page, mode) {
+            LockOutcome::Granted => AccessResponse::granted(),
+            LockOutcome::Queued if !self.detection => AccessResponse::blocked(),
+            LockOutcome::Queued => {
+                // Local deadlock detection on every block (paper §2.2).
+                let edges = self.table.waits_for_edges();
+                let default_ts = Ts::ZERO;
+                let victims = resolve_deadlocks(&edges, |t| {
+                    *self.initial_ts.get(&t).unwrap_or(&default_ts)
+                });
+                if victims.contains(&txn.id) {
+                    // The requester itself dies: withdraw its fresh wait so
+                    // the table holds no dangling request while the abort
+                    // protocol runs. Its other locks are freed by `abort`.
+                    let mut resp = AccessResponse::rejected();
+                    resp.side_effects.granted = self.table.cancel_wait(txn.id, page);
+                    resp.side_effects.must_abort =
+                        victims.into_iter().filter(|v| *v != txn.id).collect();
+                    return resp;
+                }
+                let mut resp = AccessResponse::blocked();
+                resp.side_effects.must_abort = victims;
+                resp
+            }
+        }
+    }
+
+    fn certify(&mut self, _txn: &TxnMeta, _commit_ts: Ts) -> bool {
+        true
+    }
+
+    fn commit(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        self.table.waits_for_edges()
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        if self.detection {
+            Algorithm::TwoPhaseLocking
+        } else {
+            Algorithm::TwoPhaseLockingTimeout
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::AccessReply;
+    use ddbm_config::FileId;
+
+    fn page(n: u64) -> PageId {
+        PageId {
+            file: FileId(0),
+            page: n,
+        }
+    }
+
+    /// Transaction `id` with startup order equal to its id (smaller = older).
+    fn meta(id: u64) -> TxnMeta {
+        TxnMeta {
+            id: TxnId(id),
+            initial_ts: Ts::new(id, TxnId(id)),
+            run_ts: Ts::new(id, TxnId(id)),
+        }
+    }
+
+    #[test]
+    fn readers_share_writers_block() {
+        let mut m = TwoPhaseLocking::new();
+        assert_eq!(m.request_access(&meta(1), page(1), false).reply, AccessReply::Granted);
+        assert_eq!(m.request_access(&meta(2), page(1), false).reply, AccessReply::Granted);
+        let r = m.request_access(&meta(3), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert!(r.must_abort().is_empty());
+    }
+
+    #[test]
+    fn commit_releases_and_grants_waiters() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        assert_eq!(m.request_access(&meta(2), page(1), false).reply, AccessReply::Blocked);
+        let rel = m.commit(TxnId(1));
+        assert_eq!(rel.granted, vec![(TxnId(2), page(1))]);
+        assert!(rel.must_abort.is_empty());
+    }
+
+    #[test]
+    fn abort_releases_waits_too() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        assert_eq!(m.request_access(&meta(2), page(1), true).reply, AccessReply::Blocked);
+        assert_eq!(m.request_access(&meta(3), page(1), true).reply, AccessReply::Blocked);
+        // T2 (the queued waiter) aborts; T1 still holds, so nothing granted.
+        assert!(m.abort(TxnId(2)).granted.is_empty());
+        // T1 commits: T3 gets the lock (T2 is gone).
+        let rel = m.commit(TxnId(1));
+        assert_eq!(rel.granted, vec![(TxnId(3), page(1))]);
+    }
+
+    #[test]
+    fn local_deadlock_aborts_youngest() {
+        let mut m = TwoPhaseLocking::new();
+        // T1 (older) holds A, T2 (younger) holds B.
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(2), true);
+        // T1 waits for B.
+        assert_eq!(m.request_access(&meta(1), page(2), true).reply, AccessReply::Blocked);
+        // T2 requests A → cycle. T2 is youngest → T2 itself is rejected.
+        let r = m.request_access(&meta(2), page(1), true);
+        assert_eq!(r.reply, AccessReply::Rejected);
+        assert!(r.must_abort().is_empty());
+        // After T2's abort protocol finishes, T1 is granted B.
+        let rel = m.abort(TxnId(2));
+        assert_eq!(rel.granted, vec![(TxnId(1), page(2))]);
+    }
+
+    #[test]
+    fn local_deadlock_can_pick_the_other_transaction() {
+        let mut m = TwoPhaseLocking::new();
+        // T2 (younger) holds A, T1 (older) holds B.
+        m.request_access(&meta(2), page(1), true);
+        m.request_access(&meta(1), page(2), true);
+        // T2 waits for B (no cycle yet).
+        assert_eq!(m.request_access(&meta(2), page(2), true).reply, AccessReply::Blocked);
+        // T1 requests A → cycle {T1, T2}; victim is T2 (younger), not the
+        // requester, so T1 blocks and T2 is reported for abort.
+        let r = m.request_access(&meta(1), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert_eq!(r.must_abort(), vec![TxnId(2)]);
+        // T2's abort unblocks T1 on page 1.
+        let rel = m.abort(TxnId(2));
+        assert_eq!(rel.granted, vec![(TxnId(1), page(1))]);
+    }
+
+    #[test]
+    fn no_false_deadlocks_on_plain_blocking() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        for i in 2..10 {
+            let r = m.request_access(&meta(i), page(1), true);
+            assert_eq!(r.reply, AccessReply::Blocked);
+            assert!(r.must_abort().is_empty(), "waiter chain is not a deadlock");
+        }
+    }
+
+    #[test]
+    fn three_way_deadlock_resolved_with_one_victim() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(2), true);
+        m.request_access(&meta(3), page(3), true);
+        assert_eq!(m.request_access(&meta(1), page(2), true).reply, AccessReply::Blocked);
+        assert_eq!(m.request_access(&meta(2), page(3), true).reply, AccessReply::Blocked);
+        // T3 → page(1) closes the cycle; T3 is the youngest → rejected itself.
+        let r = m.request_access(&meta(3), page(1), true);
+        assert_eq!(r.reply, AccessReply::Rejected);
+    }
+
+    #[test]
+    fn waits_for_edges_are_exported_for_the_snoop() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(1), true);
+        assert_eq!(m.waits_for_edges(), vec![(TxnId(2), TxnId(1))]);
+    }
+
+    #[test]
+    fn rejected_requester_leaves_no_dangling_wait() {
+        let mut m = TwoPhaseLocking::new();
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(2), true);
+        m.request_access(&meta(1), page(2), true); // T1 blocked on B
+        let r = m.request_access(&meta(2), page(1), true); // T2 rejected
+        assert_eq!(r.reply, AccessReply::Rejected);
+        // T2's rejected request must not appear as a wait edge.
+        let edges = m.waits_for_edges();
+        assert!(
+            !edges.contains(&(TxnId(2), TxnId(1))),
+            "rejected wait still present: {edges:?}"
+        );
+    }
+}

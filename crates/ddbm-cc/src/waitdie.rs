@@ -1,0 +1,251 @@
+//! Wait-die locking — the companion deadlock-prevention scheme to
+//! wound-wait (Rosenkrantz et al.), included as an extension for ablation
+//! studies (the paper evaluates wound-wait only).
+//!
+//! Timestamps again order transactions by initial startup time, but the
+//! asymmetry is reversed: an *older* requester may wait for a younger
+//! holder, while a *younger* requester "dies" (aborts itself) rather than
+//! wait for an older one. All wait edges therefore point old → young, so
+//! waits-for cycles cannot form.
+//!
+//! As with wound-wait (see `woundwait.rs`), the rule is applied against the
+//! full conflict set — holders and conflicting queued-ahead requests — or
+//! FIFO queue edges could hide a young→old wait. Because the requester keeps
+//! its original timestamp across restarts, it eventually becomes the oldest
+//! and cannot die forever.
+
+use crate::common::{AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
+use crate::locktable::{LockOutcome, LockTable};
+use crate::manager::CcManager;
+use ddbm_config::{Algorithm, PageId, TxnId};
+use std::collections::HashMap;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct WaitDie {
+    table: LockTable,
+    initial_ts: HashMap<TxnId, Ts>,
+}
+
+impl WaitDie {
+    /// Create a new instance.
+    pub fn new() -> WaitDie {
+        WaitDie::default()
+    }
+
+    fn ts(&self, txn: TxnId) -> Ts {
+        *self.initial_ts.get(&txn).unwrap_or(&Ts::ZERO)
+    }
+
+    /// True iff `requester`, queued on `page` with `mode`, waits behind any
+    /// transaction *older* than itself — in which case it must die.
+    fn must_die(&self, page: PageId, requester: TxnId, mode: LockMode) -> bool {
+        let requester_ts = self.ts(requester);
+        if self
+            .table
+            .conflicting_holders(page, requester, mode)
+            .into_iter()
+            .any(|holder| self.ts(holder).older_than(requester_ts))
+        {
+            return true;
+        }
+        for (ahead, ahead_mode) in self.table.waiters(page) {
+            if ahead == requester {
+                break;
+            }
+            if !ahead_mode.compatible(mode) && self.ts(ahead).older_than(requester_ts) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.initial_ts.remove(&txn);
+        let granted = self.table.release_all(txn);
+        // Grants can reorder waits: any waiter now behind an *older*
+        // transaction must die (mirror of wound-wait's grant-time rewound).
+        let mut rejected = Vec::new();
+        let pages: Vec<PageId> = granted.iter().map(|(_, p)| *p).collect();
+        for page in pages {
+            let waiters = self.table.waiters(page);
+            for (waiter, wmode) in waiters {
+                if self.must_die(page, waiter, wmode) {
+                    rejected.push((waiter, page));
+                }
+            }
+        }
+        ReleaseResponse {
+            granted,
+            rejected,
+            must_abort: Vec::new(),
+        }
+    }
+}
+
+impl CcManager for WaitDie {
+    fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
+        self.initial_ts.insert(txn.id, txn.initial_ts);
+        let mode = if write { LockMode::Write } else { LockMode::Read };
+        match self.table.request(txn.id, page, mode) {
+            LockOutcome::Granted => {
+                // A granted *upgrade* strengthens the holder's mode; any
+                // younger waiter now conflicting with an older holder dies.
+                let mut resp = AccessResponse::granted();
+                for (waiter, wmode) in self.table.waiters(page) {
+                    if self.must_die(page, waiter, wmode) {
+                        resp.side_effects.rejected.push((waiter, page));
+                    }
+                }
+                resp
+            }
+            LockOutcome::Queued => {
+                if self.must_die(page, txn.id, mode) {
+                    // Withdraw the fresh wait; the requester aborts itself.
+                    let mut resp = AccessResponse::rejected();
+                    resp.side_effects.granted = self.table.cancel_wait(txn.id, page);
+                    resp
+                } else {
+                    AccessResponse::blocked()
+                }
+            }
+        }
+    }
+
+    fn certify(&mut self, _txn: &TxnMeta, _commit_ts: Ts) -> bool {
+        true
+    }
+
+    fn commit(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        self.table.waits_for_edges()
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::WaitDie
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::AccessReply;
+    use ddbm_config::FileId;
+
+    fn page(n: u64) -> PageId {
+        PageId {
+            file: FileId(0),
+            page: n,
+        }
+    }
+
+    fn meta(id: u64) -> TxnMeta {
+        TxnMeta {
+            id: TxnId(id),
+            initial_ts: Ts::new(id, TxnId(id)),
+            run_ts: Ts::new(id, TxnId(id)),
+        }
+    }
+
+    #[test]
+    fn older_waits_for_younger() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(5), page(1), true); // younger holds
+        let r = m.request_access(&meta(1), page(1), true); // older requests
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert!(r.must_abort().is_empty());
+        // The younger holder's commit hands the lock over.
+        let rel = m.commit(TxnId(5));
+        assert_eq!(rel.granted, vec![(TxnId(1), page(1))]);
+    }
+
+    #[test]
+    fn younger_dies_immediately() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(1), page(1), true); // older holds
+        let r = m.request_access(&meta(5), page(1), true); // younger requests
+        assert_eq!(r.reply, AccessReply::Rejected);
+        // The rejected request leaves no residue.
+        assert!(m.waits_for_edges().is_empty());
+        m.abort(TxnId(5));
+    }
+
+    #[test]
+    fn compatible_reads_share_regardless_of_age() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(1), page(1), false);
+        assert_eq!(m.request_access(&meta(9), page(1), false).reply, AccessReply::Granted);
+        assert_eq!(m.request_access(&meta(5), page(1), false).reply, AccessReply::Granted);
+    }
+
+    #[test]
+    fn young_reader_dies_behind_old_queued_writer() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(5), page(1), false); // reader holds
+        m.request_access(&meta(1), page(1), true); // old writer queues
+        // A younger reader would wait behind the old writer → dies.
+        let r = m.request_access(&meta(7), page(1), false);
+        assert_eq!(r.reply, AccessReply::Rejected);
+    }
+
+    #[test]
+    fn old_reader_waits_behind_young_queued_writer() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(8), page(1), false); // young reader holds
+        // An older writer waits behind the younger holder (old may wait).
+        assert_eq!(m.request_access(&meta(6), page(1), true).reply, AccessReply::Blocked);
+        // An even older reader waits behind the (younger) queued writer.
+        let r = m.request_access(&meta(2), page(1), false);
+        assert_eq!(r.reply, AccessReply::Blocked);
+    }
+
+    #[test]
+    fn grant_time_reorder_kills_young_waiter() {
+        let mut m = WaitDie::new();
+        // T2 holds. Queue: T1 (older than T2 → allowed to wait)…
+        m.request_access(&meta(2), page(1), true);
+        assert_eq!(m.request_access(&meta(1), page(1), true).reply, AccessReply::Blocked);
+        // …then T0, the oldest, also waits.
+        assert_eq!(m.request_access(&meta(0), page(1), true).reply, AccessReply::Blocked);
+        // T2 commits: FIFO grants T1; T0 now waits behind the *younger*
+        // holder T1 — fine for wait-die (old waits). Nothing dies.
+        let rel = m.commit(TxnId(2));
+        assert_eq!(rel.granted, vec![(TxnId(1), page(1))]);
+        assert!(rel.rejected.is_empty());
+        // And T1's commit grants T0.
+        let rel = m.commit(TxnId(1));
+        assert_eq!(rel.granted, vec![(TxnId(0), page(1))]);
+    }
+
+    #[test]
+    fn no_wounds_ever() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(9), page(1), true);
+        let r = m.request_access(&meta(1), page(1), true);
+        assert!(r.must_abort().is_empty(), "wait-die never aborts others");
+        let rel = m.abort(TxnId(9));
+        assert!(rel.must_abort.is_empty());
+    }
+
+    #[test]
+    fn restart_with_same_timestamp_eventually_wins() {
+        let mut m = WaitDie::new();
+        m.request_access(&meta(1), page(1), true);
+        // T5 dies, restarts (same initial ts), dies again while T1 holds…
+        for _ in 0..3 {
+            let r = m.request_access(&meta(5), page(1), true);
+            assert_eq!(r.reply, AccessReply::Rejected);
+            m.abort(TxnId(5));
+        }
+        // …but once T1 is gone, T5 gets through.
+        m.commit(TxnId(1));
+        assert_eq!(m.request_access(&meta(5), page(1), true).reply, AccessReply::Granted);
+    }
+}

@@ -1,0 +1,202 @@
+//! Waits-for graph analysis: cycle detection and victim selection.
+//!
+//! Used for 2PL's local detection (run whenever a cohort blocks, over the
+//! node's own edges) and for global detection (run by the current "Snoop"
+//! node over the union of all nodes' edges). Deadlocks are resolved by
+//! aborting the transaction with the most recent initial startup time among
+//! those in the cycle (paper §2.2).
+
+use crate::common::Ts;
+use ddbm_config::TxnId;
+use std::collections::HashMap;
+
+/// Find one cycle in the directed graph given by `edges`, if any, returning
+/// its member transactions. Detection is deterministic: nodes are explored
+/// in sorted order.
+pub fn find_cycle(edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
+    let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+    for (from, to) in edges {
+        adj.entry(*from).or_default().push(*to);
+        adj.entry(*to).or_default();
+    }
+    let mut nodes: Vec<TxnId> = adj.keys().copied().collect();
+    nodes.sort();
+    for targets in adj.values_mut() {
+        targets.sort();
+        targets.dedup();
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: HashMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
+
+    // Iterative DFS keeping the grey path so the cycle can be extracted.
+    for &start in &nodes {
+        if color[&start] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
+        let mut path: Vec<TxnId> = vec![start];
+        color.insert(start, Color::Grey);
+        while let Some((node, idx)) = stack.last_mut() {
+            let node = *node;
+            let succs = &adj[&node];
+            if *idx < succs.len() {
+                let next = succs[*idx];
+                *idx += 1;
+                match color[&next] {
+                    Color::Grey => {
+                        // Found a cycle: the path suffix from `next` onward.
+                        let pos = path.iter().position(|t| *t == next).expect("grey on path");
+                        return Some(path[pos..].to_vec());
+                    }
+                    Color::White => {
+                        color.insert(next, Color::Grey);
+                        stack.push((next, 0));
+                        path.push(next);
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Repeatedly find cycles and select victims until the graph is acyclic.
+/// The victim of each cycle is the youngest member (largest `initial_ts`).
+/// Returns the victims in selection order.
+pub fn resolve_deadlocks(
+    edges: &[(TxnId, TxnId)],
+    ts_of: impl Fn(TxnId) -> Ts,
+) -> Vec<TxnId> {
+    let mut remaining: Vec<(TxnId, TxnId)> = edges.to_vec();
+    let mut victims = Vec::new();
+    while let Some(cycle) = find_cycle(&remaining) {
+        let victim = *cycle
+            .iter()
+            .max_by_key(|t| (ts_of(**t), **t))
+            .expect("cycle is non-empty");
+        victims.push(victim);
+        remaining.retain(|(a, b)| *a != victim && *b != victim);
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(order: u64) -> Ts {
+        Ts {
+            time: order,
+            txn: 0,
+        }
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let edges = vec![
+            (TxnId(1), TxnId(2)),
+            (TxnId(2), TxnId(3)),
+            (TxnId(1), TxnId(3)),
+        ];
+        assert_eq!(find_cycle(&edges), None);
+        assert!(resolve_deadlocks(&edges, |_| ts(0)).is_empty());
+    }
+
+    #[test]
+    fn simple_two_cycle() {
+        let edges = vec![(TxnId(1), TxnId(2)), (TxnId(2), TxnId(1))];
+        let cycle = find_cycle(&edges).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&TxnId(1)) && cycle.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        // Should never arise from the lock table, but the detector must not
+        // loop forever if it does.
+        let edges = vec![(TxnId(1), TxnId(1))];
+        assert_eq!(find_cycle(&edges), Some(vec![TxnId(1)]));
+    }
+
+    #[test]
+    fn victim_is_youngest_in_cycle() {
+        let edges = vec![
+            (TxnId(1), TxnId(2)),
+            (TxnId(2), TxnId(3)),
+            (TxnId(3), TxnId(1)),
+        ];
+        // T2 started most recently.
+        let ts_of = |t: TxnId| match t {
+            TxnId(1) => ts(10),
+            TxnId(2) => ts(30),
+            _ => ts(20),
+        };
+        assert_eq!(resolve_deadlocks(&edges, ts_of), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn multiple_disjoint_cycles_all_resolved() {
+        let edges = vec![
+            (TxnId(1), TxnId(2)),
+            (TxnId(2), TxnId(1)),
+            (TxnId(3), TxnId(4)),
+            (TxnId(4), TxnId(3)),
+        ];
+        let victims = resolve_deadlocks(&edges, |t| ts(t.0));
+        assert_eq!(victims.len(), 2);
+        assert!(victims.contains(&TxnId(2)));
+        assert!(victims.contains(&TxnId(4)));
+    }
+
+    #[test]
+    fn overlapping_cycles_may_share_a_victim() {
+        // 1→2→1 and 2→3→2 share T2 (youngest everywhere): one abort clears both.
+        let edges = vec![
+            (TxnId(1), TxnId(2)),
+            (TxnId(2), TxnId(1)),
+            (TxnId(2), TxnId(3)),
+            (TxnId(3), TxnId(2)),
+        ];
+        let ts_of = |t: TxnId| if t == TxnId(2) { ts(99) } else { ts(t.0) };
+        assert_eq!(resolve_deadlocks(&edges, ts_of), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        let n = 50u64;
+        let mut edges: Vec<(TxnId, TxnId)> = (0..n)
+            .map(|i| (TxnId(i), TxnId((i + 1) % n)))
+            .collect();
+        // Plus some acyclic noise.
+        edges.push((TxnId(100), TxnId(3)));
+        edges.push((TxnId(101), TxnId(100)));
+        let cycle = find_cycle(&edges).unwrap();
+        assert_eq!(cycle.len(), n as usize);
+        let victims = resolve_deadlocks(&edges, |t| ts(t.0));
+        assert_eq!(victims, vec![TxnId(n - 1)]);
+    }
+
+    #[test]
+    fn deterministic_across_edge_order() {
+        let mut edges = vec![
+            (TxnId(3), TxnId(1)),
+            (TxnId(1), TxnId(2)),
+            (TxnId(2), TxnId(3)),
+        ];
+        let v1 = resolve_deadlocks(&edges, |t| ts(t.0));
+        edges.reverse();
+        let v2 = resolve_deadlocks(&edges, |t| ts(t.0));
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Distributed wound-wait locking (paper §2.3, after Rosenkrantz et al.).
+//!
+//! Identical to 2PL except in how it deals with deadlock: deadlocks are
+//! *prevented* using initial-startup timestamps. When a cohort's lock request
+//! conflicts with locks held by *younger* transactions, those transactions
+//! are wounded — reported in `must_abort` for the coordinator to kill, unless
+//! the target is already in the second phase of its commit protocol, in which
+//! case the wound is ignored (that immunity check is the coordinator's,
+//! because only it knows the commit phase). Younger transactions simply wait
+//! for older ones.
+//!
+//! Wounds are (re-)evaluated whenever a waits-for-holder relationship is
+//! established: at request time and again whenever a release changes the
+//! holder set. The re-evaluation at grant time is what guarantees that the
+//! oldest transaction always makes progress even though the FIFO queue can
+//! put an older waiter behind a younger one.
+
+use crate::common::{AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
+use crate::locktable::{LockOutcome, LockTable};
+use crate::manager::CcManager;
+use ddbm_config::{Algorithm, PageId, TxnId};
+use std::collections::HashMap;
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct WoundWait {
+    table: LockTable,
+    initial_ts: HashMap<TxnId, Ts>,
+}
+
+impl WoundWait {
+    /// Create a new instance.
+    pub fn new() -> WoundWait {
+        WoundWait::default()
+    }
+
+    fn ts(&self, txn: TxnId) -> Ts {
+        *self.initial_ts.get(&txn).unwrap_or(&Ts::ZERO)
+    }
+
+    /// Everything the queued `requester` now waits behind — conflicting
+    /// holders *and* conflicting requests queued ahead of it (FIFO queues
+    /// make those real waits too) — that is younger than it gets wounded.
+    /// Wounding only holders would leave a deadlock: an old reader queued
+    /// behind a young writer that waits on a young holder can close a cycle
+    /// through queue-order edges alone.
+    fn wounds_for(&self, page: PageId, requester: TxnId, mode: LockMode) -> Vec<TxnId> {
+        let requester_ts = self.ts(requester);
+        let mut wounds: Vec<TxnId> = self
+            .table
+            .conflicting_holders(page, requester, mode)
+            .into_iter()
+            .filter(|holder| requester_ts.older_than(self.ts(*holder)))
+            .collect();
+        for (ahead, ahead_mode) in self.table.waiters(page) {
+            if ahead == requester {
+                break; // only requests queued ahead of ours
+            }
+            if !ahead_mode.compatible(mode) && requester_ts.older_than(self.ts(ahead)) {
+                wounds.push(ahead);
+            }
+        }
+        wounds.sort();
+        wounds.dedup();
+        wounds
+    }
+
+    /// Re-evaluate wounds for every transaction still waiting on the given
+    /// pages after the holder set or queue changed: each waiter wounds every
+    /// younger transaction it now waits behind (holders and conflicting
+    /// earlier waiters).
+    fn rewound_waiters(&self, pages: impl IntoIterator<Item = PageId>) -> Vec<TxnId> {
+        let mut wounds = Vec::new();
+        for page in pages {
+            let holders = self.table.holders(page);
+            let waiters = self.table.waiters(page);
+            for (i, (waiter, wmode)) in waiters.iter().enumerate() {
+                let waiter_ts = self.ts(*waiter);
+                for (holder, held_mode) in &holders {
+                    if holder != waiter
+                        && !held_mode.compatible(*wmode)
+                        && waiter_ts.older_than(self.ts(*holder))
+                    {
+                        wounds.push(*holder);
+                    }
+                }
+                for (ahead, ahead_mode) in &waiters[..i] {
+                    if !ahead_mode.compatible(*wmode) && waiter_ts.older_than(self.ts(*ahead)) {
+                        wounds.push(*ahead);
+                    }
+                }
+            }
+        }
+        wounds.sort();
+        wounds.dedup();
+        wounds
+    }
+
+    fn finish(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.initial_ts.remove(&txn);
+        let granted = self.table.release_all(txn);
+        // Holder sets changed on the granted pages; older waiters still
+        // queued there wound the fresh (younger) holders.
+        let pages: Vec<PageId> = granted.iter().map(|(_, p)| *p).collect();
+        let must_abort = self.rewound_waiters(pages);
+        ReleaseResponse {
+            granted,
+            rejected: Vec::new(),
+            must_abort,
+        }
+    }
+}
+
+impl CcManager for WoundWait {
+    fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
+        self.initial_ts.insert(txn.id, txn.initial_ts);
+        let mode = if write { LockMode::Write } else { LockMode::Read };
+        // Compute wounds against the holders *before* queueing: these are
+        // the transactions whose locks the (older) requester refuses to
+        // wait behind.
+        match self.table.request(txn.id, page, mode) {
+            LockOutcome::Granted => {
+                // A granted *upgrade* strengthens the holder's mode while
+                // waiters are queued; any older waiter now conflicting with
+                // the upgraded (younger) holder must wound it.
+                let mut resp = AccessResponse::granted();
+                resp.side_effects.must_abort = self.rewound_waiters([page]);
+                resp
+            }
+            LockOutcome::Queued => {
+                let mut resp = AccessResponse::blocked();
+                // Wounds from the new request, plus a re-evaluation of the
+                // whole page (an upgrade insertion can reorder the queue and
+                // put an older waiter behind a younger one).
+                let mut wounds = self.wounds_for(page, txn.id, mode);
+                wounds.extend(self.rewound_waiters([page]));
+                wounds.sort();
+                wounds.dedup();
+                resp.side_effects.must_abort = wounds;
+                resp
+            }
+        }
+    }
+
+    fn certify(&mut self, _txn: &TxnMeta, _commit_ts: Ts) -> bool {
+        true
+    }
+
+    fn commit(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> ReleaseResponse {
+        self.finish(txn)
+    }
+
+    fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
+        // Exported for diagnostics; WW never deadlocks so no Snoop runs.
+        self.table.waits_for_edges()
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::WoundWait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::AccessReply;
+    use ddbm_config::FileId;
+
+    fn page(n: u64) -> PageId {
+        PageId {
+            file: FileId(0),
+            page: n,
+        }
+    }
+
+    fn meta(id: u64) -> TxnMeta {
+        TxnMeta {
+            id: TxnId(id),
+            initial_ts: Ts::new(id, TxnId(id)),
+            run_ts: Ts::new(id, TxnId(id)),
+        }
+    }
+
+    #[test]
+    fn younger_waits_for_older() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(1), page(1), true); // older holds
+        let r = m.request_access(&meta(2), page(1), true); // younger requests
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert!(r.must_abort().is_empty(), "younger must simply wait");
+    }
+
+    #[test]
+    fn older_wounds_younger_holder() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(5), page(1), true); // younger holds
+        let r = m.request_access(&meta(1), page(1), true); // older requests
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert_eq!(r.must_abort(), vec![TxnId(5)]);
+        // The wound kills T5; its abort frees the lock for T1.
+        let rel = m.abort(TxnId(5));
+        assert_eq!(rel.granted, vec![(TxnId(1), page(1))]);
+    }
+
+    #[test]
+    fn older_reader_wounds_younger_writer_only() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(5), page(1), false); // younger read holder
+        m.request_access(&meta(6), page(1), false); // another younger reader
+        // An older *reader* is compatible; no wound, no wait.
+        let r = m.request_access(&meta(1), page(1), false);
+        assert_eq!(r.reply, AccessReply::Granted);
+    }
+
+    #[test]
+    fn older_writer_wounds_all_younger_readers() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(5), page(1), false);
+        m.request_access(&meta(6), page(1), false);
+        let r = m.request_access(&meta(1), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert_eq!(r.must_abort(), vec![TxnId(5), TxnId(6)]);
+    }
+
+    #[test]
+    fn mixed_ages_wound_only_the_younger() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(1), page(1), false); // older than requester
+        m.request_access(&meta(9), page(1), false); // younger than requester
+        let r = m.request_access(&meta(4), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert_eq!(r.must_abort(), vec![TxnId(9)]);
+    }
+
+    #[test]
+    fn grant_time_rewound_protects_waiting_elder() {
+        let mut m = WoundWait::new();
+        // T3 holds; queue: first T5 (young), then T2 (older than T5).
+        m.request_access(&meta(3), page(1), true);
+        assert_eq!(m.request_access(&meta(5), page(1), true).reply, AccessReply::Blocked);
+        let r = m.request_access(&meta(2), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        // T2 is older than both the holder T3 and the queued T5; it wounds
+        // everything younger it would wait behind.
+        assert_eq!(r.must_abort(), vec![TxnId(3), TxnId(5)]);
+        // T3 dies; FIFO grants T5 — but waiting T2 is older than the new
+        // holder T5, so the release must wound T5.
+        let rel = m.abort(TxnId(3));
+        assert_eq!(rel.granted, vec![(TxnId(5), page(1))]);
+        assert_eq!(rel.must_abort, vec![TxnId(5)]);
+        // T5 dies in turn; T2 finally gets the lock.
+        let rel = m.abort(TxnId(5));
+        assert_eq!(rel.granted, vec![(TxnId(2), page(1))]);
+        assert!(rel.must_abort.is_empty());
+    }
+
+    #[test]
+    fn commit_releases_without_wounding_younger_waiters() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(1), true); // younger waits
+        let rel = m.commit(TxnId(1));
+        assert_eq!(rel.granted, vec![(TxnId(2), page(1))]);
+        assert!(rel.must_abort.is_empty());
+    }
+
+    #[test]
+    fn no_wound_when_requester_is_youngest() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(1), page(1), true);
+        m.request_access(&meta(2), page(1), true);
+        let r = m.request_access(&meta(3), page(1), true);
+        assert_eq!(r.reply, AccessReply::Blocked);
+        assert!(r.must_abort().is_empty());
+    }
+
+    #[test]
+    fn wound_repeated_on_new_conflict_is_idempotent_per_call() {
+        let mut m = WoundWait::new();
+        m.request_access(&meta(9), page(1), false);
+        m.request_access(&meta(9), page(2), false);
+        // Older T1 conflicts on both pages; each request wounds T9 once.
+        let r1 = m.request_access(&meta(1), page(1), true);
+        let r2 = m.request_access(&meta(1), page(2), true);
+        assert_eq!(r1.must_abort(), vec![TxnId(9)]);
+        assert_eq!(r2.must_abort(), vec![TxnId(9)]);
+        // Double-kill is the coordinator's problem (it ignores wounds for
+        // transactions already aborting); the abort itself happens once.
+        let rel = m.abort(TxnId(9));
+        let mut granted = rel.granted.clone();
+        granted.sort();
+        assert_eq!(granted, vec![(TxnId(1), page(1)), (TxnId(1), page(2))]);
+    }
+}

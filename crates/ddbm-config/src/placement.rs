@@ -1,0 +1,223 @@
+//! File-to-node placement (the paper's `FileLocations` parameter).
+//!
+//! Placement follows the paper's partitioning schemes (§4.2, §4.3, §4.4): the
+//! `partitions_per_relation` files of relation *i* are split into
+//! `declustering_degree` groups of consecutive partitions, and group *k* is
+//! stored at processing node `((i + k·stride) mod N) + 1` where
+//! `stride = N / degree`. Relations are offset from one another so that every
+//! node stores the same number of files regardless of the degree, keeping
+//! aggregate load balanced — exactly the property the paper's explicit
+//! placements have.
+
+use crate::ids::{FileId, NodeId};
+use crate::params::DatabaseParams;
+use serde::{Deserialize, Serialize};
+
+/// A concrete mapping of every file to the processing node that stores it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `node_of[f]` is the processing node storing file `f`.
+    node_of: Vec<NodeId>,
+    num_relations: usize,
+    partitions_per_relation: usize,
+}
+
+impl Placement {
+    /// Build the paper's placement for `db` on `num_proc_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if the degree does not divide `partitions_per_relation`, if it
+    /// exceeds the machine size, or if it does not divide `num_proc_nodes`
+    /// (the strided layout needs `N / degree` to be integral).
+    pub fn paper_layout(db: &DatabaseParams, num_proc_nodes: usize) -> Placement {
+        let degree = db.declustering_degree;
+        assert!(degree >= 1, "declustering degree must be at least 1");
+        assert!(
+            degree <= num_proc_nodes,
+            "declustering degree {degree} exceeds machine size {num_proc_nodes}"
+        );
+        assert_eq!(
+            db.partitions_per_relation % degree,
+            0,
+            "degree {degree} must divide partitions_per_relation {}",
+            db.partitions_per_relation
+        );
+        assert_eq!(
+            num_proc_nodes % degree,
+            0,
+            "degree {degree} must divide the number of processing nodes {num_proc_nodes}"
+        );
+        let group_size = db.partitions_per_relation / degree;
+        let stride = num_proc_nodes / degree;
+        let mut node_of = Vec::with_capacity(db.num_files());
+        for rel in 0..db.num_relations {
+            for part in 0..db.partitions_per_relation {
+                let group = part / group_size;
+                let node = (rel + group * stride) % num_proc_nodes;
+                // Processing nodes are numbered from 1; node 0 is the host.
+                node_of.push(NodeId(node + 1));
+            }
+        }
+        Placement {
+            node_of,
+            num_relations: db.num_relations,
+            partitions_per_relation: db.partitions_per_relation,
+        }
+    }
+
+    /// The processing node storing `file`.
+    #[inline]
+    pub fn node_of(&self, file: FileId) -> NodeId {
+        self.node_of[file.0]
+    }
+
+    #[inline]
+    /// `num_files`.
+    pub fn num_files(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// The file id of partition `part` of relation `rel`.
+    #[inline]
+    pub fn file_of(&self, rel: usize, part: usize) -> FileId {
+        debug_assert!(rel < self.num_relations && part < self.partitions_per_relation);
+        FileId(rel * self.partitions_per_relation + part)
+    }
+
+    /// The relation a file belongs to.
+    #[inline]
+    pub fn relation_of(&self, file: FileId) -> usize {
+        file.0 / self.partitions_per_relation
+    }
+
+    /// All files of relation `rel`, grouped by the node that stores them.
+    /// Each entry is `(node, files-at-that-node)`; nodes appear in ascending
+    /// id order. A transaction on `rel` runs one cohort per entry.
+    pub fn cohort_groups(&self, rel: usize) -> Vec<(NodeId, Vec<FileId>)> {
+        let mut groups: Vec<(NodeId, Vec<FileId>)> = Vec::new();
+        for part in 0..self.partitions_per_relation {
+            let f = self.file_of(rel, part);
+            let node = self.node_of(f);
+            match groups.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, files)) => files.push(f),
+                None => groups.push((node, vec![f])),
+            }
+        }
+        groups.sort_by_key(|(n, _)| *n);
+        groups
+    }
+
+    /// How many files each processing node stores (index 0 = node `S1`).
+    pub fn files_per_node(&self, num_proc_nodes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_proc_nodes];
+        for n in &self.node_of {
+            counts[n.0 - 1] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DatabaseParams;
+
+    #[test]
+    fn one_node_machine_puts_everything_on_s1() {
+        let db = DatabaseParams::small(1);
+        let p = Placement::paper_layout(&db, 1);
+        for f in 0..db.num_files() {
+            assert_eq!(p.node_of(FileId(f)), NodeId(1));
+        }
+        assert_eq!(p.cohort_groups(3).len(), 1);
+    }
+
+    #[test]
+    fn eight_way_spreads_each_relation_over_all_nodes() {
+        let db = DatabaseParams::small(8);
+        let p = Placement::paper_layout(&db, 8);
+        for rel in 0..8 {
+            let groups = p.cohort_groups(rel);
+            assert_eq!(groups.len(), 8, "relation {rel} must span 8 nodes");
+            for (_, files) in &groups {
+                assert_eq!(files.len(), 1);
+            }
+        }
+        assert_eq!(p.files_per_node(8), vec![8; 8]);
+    }
+
+    #[test]
+    fn one_way_on_eight_nodes_keeps_relations_whole() {
+        let db = DatabaseParams::small(1);
+        let p = Placement::paper_layout(&db, 8);
+        for rel in 0..8 {
+            let groups = p.cohort_groups(rel);
+            assert_eq!(groups.len(), 1, "relation {rel} must live on one node");
+            assert_eq!(groups[0].1.len(), 8);
+        }
+        // Relation i lives on node S_{i+1}; load stays balanced.
+        assert_eq!(p.files_per_node(8), vec![8; 8]);
+        assert_eq!(p.cohort_groups(0)[0].0, NodeId(1));
+        assert_eq!(p.cohort_groups(7)[0].0, NodeId(8));
+    }
+
+    #[test]
+    fn two_and_four_way_balance_load() {
+        for degree in [2usize, 4] {
+            let db = DatabaseParams::small(degree);
+            let p = Placement::paper_layout(&db, 8);
+            assert_eq!(p.files_per_node(8), vec![8; 8], "degree {degree}");
+            for rel in 0..8 {
+                let groups = p.cohort_groups(rel);
+                assert_eq!(groups.len(), degree);
+                for (_, files) in &groups {
+                    assert_eq!(files.len(), 8 / degree);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_node_machine_four_way() {
+        let db = DatabaseParams::small(4);
+        let p = Placement::paper_layout(&db, 4);
+        assert_eq!(p.files_per_node(4), vec![16; 4]);
+        for rel in 0..8 {
+            assert_eq!(p.cohort_groups(rel).len(), 4);
+        }
+    }
+
+    #[test]
+    fn groups_hold_consecutive_partitions() {
+        let db = DatabaseParams::small(2);
+        let p = Placement::paper_layout(&db, 8);
+        let groups = p.cohort_groups(0);
+        // First group = partitions 0..4, second = partitions 4..8.
+        assert_eq!(
+            groups[0].1,
+            vec![FileId(0), FileId(1), FileId(2), FileId(3)]
+        );
+        assert_eq!(
+            groups[1].1,
+            vec![FileId(4), FileId(5), FileId(6), FileId(7)]
+        );
+    }
+
+    #[test]
+    fn relation_of_inverts_file_of() {
+        let db = DatabaseParams::small(8);
+        let p = Placement::paper_layout(&db, 8);
+        for rel in 0..8 {
+            for part in 0..8 {
+                assert_eq!(p.relation_of(p.file_of(rel, part)), rel);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine size")]
+    fn degree_larger_than_machine_panics() {
+        let db = DatabaseParams::small(8);
+        Placement::paper_layout(&db, 4);
+    }
+}

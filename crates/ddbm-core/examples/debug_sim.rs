@@ -1,0 +1,18 @@
+use ddbm_config::{Algorithm, Config};
+use ddbm_core::Simulator;
+
+fn main() {
+    let algo = match std::env::args().nth(1).as_deref() {
+        Some("ww") => Algorithm::WoundWait,
+        Some("bto") => Algorithm::BasicTimestampOrdering,
+        Some("opt") => Algorithm::Optimistic,
+        Some("nodc") => Algorithm::NoDataContention,
+        _ => Algorithm::TwoPhaseLocking,
+    };
+    let mut config = Config::paper(algo, 8, 8, 8.0);
+    config.control.warmup_commits = 20;
+    config.control.measure_commits = 50;
+    let sim = Simulator::new(config).unwrap();
+    let report = sim.run_debug();
+    eprintln!("{report:#?}");
+}

@@ -1,0 +1,15 @@
+use ddbm_config::{Algorithm, Config};
+use ddbm_core::run_config;
+use std::time::Instant;
+
+fn main() {
+    for (label, think) in [("busy", 0.0), ("mid", 12.0), ("idle", 120.0)] {
+        let config = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, think);
+        let t0 = Instant::now();
+        let r = run_config(config).unwrap();
+        println!(
+            "{label}: wall={:?} commits={} tps={:.2} rt={:.3} truncated={}",
+            t0.elapsed(), r.commits, r.throughput, r.mean_response_time, r.truncated
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Output metrics (paper §4.1): response time, throughput, speedups (derived
+//! by the experiment harness), abort ratio, blocking time, and utilizations.
+
+use denet::{BatchMeans, SimDuration, SimTime, Tally};
+use serde::{Deserialize, Serialize};
+
+/// Live collectors, reset at the end of warmup.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    /// Response time.
+    pub response_time: Tally,
+    /// All-time response tally (never reset): drives the restart delay,
+    /// which the paper bases on the observed average response time.
+    pub response_time_alltime: Tally,
+    /// Committed transactions in the window.
+    pub commits: u64,
+    /// Aborted runs in the window.
+    pub aborts: u64,
+    /// Time cohorts spent blocked on a CC request (per blocking episode).
+    pub blocking_time: Tally,
+    /// Measure start.
+    pub measure_start: SimTime,
+    /// Commits since simulation start (never reset; warmup accounting).
+    pub total_commits: u64,
+    /// Batch-means estimator over response times (batches of 100 commits),
+    /// for the confidence interval reported in `RunReport`.
+    pub response_batches: BatchMeans,
+}
+
+impl MetricsCollector {
+    /// Create a new instance.
+    pub fn new() -> MetricsCollector {
+        MetricsCollector {
+            response_time: Tally::new(),
+            response_time_alltime: Tally::new(),
+            commits: 0,
+            aborts: 0,
+            blocking_time: Tally::new(),
+            measure_start: SimTime::ZERO,
+            total_commits: 0,
+            response_batches: BatchMeans::new(100),
+        }
+    }
+
+    /// `record_commit`.
+    pub fn record_commit(&mut self, response: SimDuration) {
+        self.commits += 1;
+        self.total_commits += 1;
+        self.response_time.record_duration(response);
+        self.response_time_alltime.record_duration(response);
+        self.response_batches.record(response.as_secs_f64());
+    }
+
+    /// `record_abort`.
+    pub fn record_abort(&mut self) {
+        self.aborts += 1;
+    }
+
+    /// `record_blocking`.
+    pub fn record_blocking(&mut self, blocked_for: SimDuration) {
+        self.blocking_time.record_duration(blocked_for);
+    }
+
+    /// The restart delay: one observed average response time (as in the
+    /// paper, following Agrawal et al.). Before the first commit, fall back
+    /// to the caller-provided estimate.
+    pub fn restart_delay(&self, fallback: SimDuration) -> SimDuration {
+        if self.response_time_alltime.count() == 0 {
+            fallback
+        } else {
+            SimDuration::from_secs_f64(self.response_time_alltime.mean())
+        }
+    }
+
+    /// End of warmup: discard everything measured so far.
+    pub fn reset(&mut self, now: SimTime) {
+        self.response_time.reset();
+        self.commits = 0;
+        self.aborts = 0;
+        self.blocking_time.reset();
+        self.response_batches.reset();
+        self.measure_start = now;
+    }
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The final report of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Committed transactions in the measurement window.
+    pub commits: u64,
+    /// Aborted runs in the measurement window.
+    pub aborts: u64,
+    /// Transactions per second.
+    pub throughput: f64,
+    /// Mean end-to-end response time (first submission → successful commit),
+    /// seconds.
+    pub mean_response_time: f64,
+    /// Standard deviation of the response time, seconds.
+    pub response_time_std: f64,
+    /// Half-width of the ~95% batch-means confidence interval on the mean
+    /// response time, seconds (0 when fewer than two 100-commit batches
+    /// completed).
+    #[serde(default)]
+    pub response_time_ci95: f64,
+    /// Aborts per commit (the paper's abort ratio).
+    pub abort_ratio: f64,
+    /// Mean duration of one blocking episode, seconds (locking algorithms).
+    pub mean_blocking_time: f64,
+    /// Host CPU utilization.
+    pub host_cpu_utilization: f64,
+    /// Mean CPU utilization across processing nodes.
+    pub proc_cpu_utilization: f64,
+    /// Mean disk utilization across processing-node disks.
+    pub disk_utilization: f64,
+    /// Simulated seconds in the measurement window.
+    pub measured_seconds: f64,
+    /// True when the run hit `max_sim_time` before reaching its commit
+    /// target (thrashing configurations).
+    pub truncated: bool,
+    /// Extension: fraction of read accesses served from the buffer pool
+    /// (always 0 with the paper's settings, which disable buffering).
+    #[serde(default)]
+    pub buffer_hit_ratio: f64,
+}
+
+impl RunReport {
+    /// Throughput speedup of `self` relative to a baseline run.
+    pub fn throughput_speedup_over(&self, base: &RunReport) -> f64 {
+        if base.throughput <= 0.0 {
+            f64::NAN
+        } else {
+            self.throughput / base.throughput
+        }
+    }
+
+    /// Response-time speedup (baseline response ÷ ours; >1 is better).
+    pub fn response_speedup_over(&self, base: &RunReport) -> f64 {
+        if self.mean_response_time <= 0.0 {
+            f64::NAN
+        } else {
+            base.mean_response_time / self.mean_response_time
+        }
+    }
+
+    /// Percentage response-time degradation relative to a (faster) baseline:
+    /// `100 · (ours − base) / base`, the quantity in paper Figures 10–11.
+    pub fn degradation_vs(&self, base: &RunReport) -> f64 {
+        if base.mean_response_time <= 0.0 {
+            f64::NAN
+        } else {
+            100.0 * (self.mean_response_time - base.mean_response_time) / base.mean_response_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tps: f64, rt: f64) -> RunReport {
+        RunReport {
+            commits: 100,
+            aborts: 10,
+            throughput: tps,
+            mean_response_time: rt,
+            response_time_std: 0.0,
+            response_time_ci95: 0.0,
+            abort_ratio: 0.1,
+            mean_blocking_time: 0.0,
+            host_cpu_utilization: 0.5,
+            proc_cpu_utilization: 0.5,
+            disk_utilization: 0.5,
+            measured_seconds: 100.0,
+            truncated: false,
+            buffer_hit_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn collector_reset_clears_window_but_not_alltime() {
+        let mut m = MetricsCollector::new();
+        m.record_commit(SimDuration::from_millis(500));
+        m.record_abort();
+        m.reset(SimTime(1_000));
+        assert_eq!(m.commits, 0);
+        assert_eq!(m.aborts, 0);
+        assert_eq!(m.total_commits, 1);
+        assert_eq!(m.response_time.count(), 0);
+        assert_eq!(m.response_time_alltime.count(), 1);
+        assert_eq!(m.measure_start, SimTime(1_000));
+    }
+
+    #[test]
+    fn restart_delay_uses_observed_mean() {
+        let mut m = MetricsCollector::new();
+        let fallback = SimDuration::from_millis(77);
+        assert_eq!(m.restart_delay(fallback), fallback);
+        m.record_commit(SimDuration::from_millis(200));
+        m.record_commit(SimDuration::from_millis(400));
+        assert_eq!(m.restart_delay(fallback), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn speedup_and_degradation_math() {
+        let base = report(10.0, 2.0);
+        let fast = report(40.0, 0.5);
+        assert!((fast.throughput_speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((fast.response_speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((base.degradation_vs(&fast) - 300.0).abs() < 1e-12);
+        assert!((fast.degradation_vs(&fast)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_baselines_yield_nan() {
+        let zero = report(0.0, 0.0);
+        let ok = report(10.0, 1.0);
+        assert!(ok.throughput_speedup_over(&zero).is_nan());
+        assert!(zero.response_speedup_over(&ok).is_nan());
+        assert!(ok.degradation_vs(&zero).is_nan());
+    }
+}

@@ -1,0 +1,240 @@
+//! Messages, resource-job tags, and calendar events of the simulator.
+//!
+//! Every message costs `InstPerMsg` CPU instructions at the sender *and* the
+//! receiver (served at priority, FIFO — paper §3.4/§3.5); wire time is zero.
+//! Because each node's message work is a FIFO queue, messages between any
+//! pair of nodes are delivered in send order, which the commit and abort
+//! protocols rely on.
+
+use ddbm_cc::Ts;
+use ddbm_config::{NodeId, PageId, TxnId};
+
+/// Identifies one run (execution attempt) of a transaction; bumped on every
+/// restart so that in-flight events of a dead run can be recognized as stale.
+pub type RunId = u32;
+
+/// Index of a cohort within its transaction's template.
+pub type CohortIdx = usize;
+
+/// A message travelling between nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The payload.
+    pub kind: MsgKind,
+}
+
+/// The protocol messages of the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Field names in this protocol are uniform (`txn`, `run`, `cohort`, …)
+// and documented once on the multi-line variants above; the single-line
+// variants reuse them.
+#[allow(missing_docs)]
+pub enum MsgKind {
+    /// Coordinator → node: initiate a cohort (costs `InstPerStartup` CPU at
+    /// the node before the cohort begins work).
+    LoadCohort {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// Cohort → coordinator: all accesses complete.
+    CohortDone {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// Coordinator → cohort: phase 1 of commit. Carries the commit
+    /// timestamp used by OPT certification.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// The globally unique commit timestamp (used by OPT).
+        commit_ts: Ts,
+    },
+    /// Cohort → coordinator: phase-1 vote.
+    Vote {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// True for a "ready to commit" vote.
+        yes: bool,
+    },
+    /// Coordinator → cohort: phase-2 decision.
+    Decision {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
+    /// Cohort → coordinator: phase-2 acknowledgement.
+    Ack {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// A node → coordinator: this transaction must abort (a wound, a
+    /// deadlock victim, or a cohort whose access was rejected). The
+    /// coordinator applies the fatality rules (wound-wait phase-2 immunity,
+    /// already-aborting dedup).
+    AbortRequest { txn: TxnId, run: RunId },
+    /// Coordinator → node: kill this run's cohort and release its CC state.
+    AbortCohort {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// Cohort → coordinator: cohort dismantled.
+    AbortAck {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// Snoop → node: send me your waits-for edges.
+    SnoopRequest { round: u64 },
+    /// Node → snoop: local waits-for edges.
+    SnoopReply {
+        /// The Snoop round this belongs to.
+        round: u64,
+        /// Local waits-for edges at the replying node.
+        edges: Vec<(TxnId, TxnId)>,
+    },
+    /// Snoop → next node: the Snoop role is yours now.
+    SnoopPass,
+}
+
+/// Tags for CPU jobs. Message-class jobs are `MsgSend`/`MsgRecv`; everything
+/// else runs in the processor-sharing class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Field names in this protocol are uniform (`txn`, `run`, `cohort`, …)
+// and documented once on the multi-line variants above; the single-line
+// variants reuse them.
+#[allow(missing_docs)]
+pub enum CpuJob {
+    /// Coordinator process initiation at the host.
+    CoordStartup { txn: TxnId, run: RunId },
+    /// Cohort process initiation at a processing node.
+    CohortStartup {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+    },
+    /// Concurrency-control request processing (`InstPerCCReq`).
+    CcRequest {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// Index of the access within the cohort script.
+        access: usize,
+    },
+    /// Page processing after a granted access (mean `InstPerPage`, exp.).
+    PageProcess {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// Index of the access within the cohort script.
+        access: usize,
+    },
+    /// Initiation of one asynchronous post-commit page write
+    /// (`InstPerUpdate`): the first page of `pages` is written and the rest
+    /// chain behind it, one initiation at a time.
+    UpdateInit { txn: TxnId, pages: Vec<PageId> },
+    /// Protocol processing to send a message; on completion the message is
+    /// handed to the network.
+    MsgSend(Message),
+    /// Protocol processing on receipt; on completion the message is acted on.
+    MsgRecv(Message),
+}
+
+/// Tags for disk requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// Field names in this protocol are uniform (`txn`, `run`, `cohort`, …)
+// and documented once on the multi-line variants above; the single-line
+// variants reuse them.
+#[allow(missing_docs)]
+pub enum DiskJob {
+    /// Synchronous page read by a cohort access.
+    Read {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// Index of the access within the cohort script.
+        access: usize,
+        /// The page concerned.
+        page: PageId,
+    },
+    /// Asynchronous post-commit page write-back (fire and forget).
+    WriteBack { txn: TxnId },
+}
+
+/// Calendar events of the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// Field names in this protocol are uniform (`txn`, `run`, `cohort`, …)
+// and documented once on the multi-line variants above; the single-line
+// variants reuse them.
+#[allow(missing_docs)]
+pub enum Event {
+    /// A terminal finished thinking and submits a new transaction.
+    TerminalSubmit { terminal: usize },
+    /// Poll a node's CPU for completions (scheduled at its predicted next
+    /// completion; stale polls are harmless no-ops).
+    CpuPoll { node: NodeId },
+    /// Poll a node's disks for completions.
+    DiskPoll { node: NodeId },
+    /// The restart delay of an aborted transaction expired.
+    Restart { txn: TxnId },
+    /// The current Snoop node's detection interval expired.
+    SnoopWake { node: NodeId, round: u64 },
+    /// Extension: a 2PL-T lock wait hit `SystemParams::lock_timeout`.
+    LockTimeout {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Index of the cohort within the transaction.
+        cohort: CohortIdx,
+        /// Index of the access within the cohort script.
+        access: usize,
+    },
+}

@@ -1,0 +1,1121 @@
+//! The distributed database machine simulator (paper §3).
+//!
+//! One [`Simulator`] instance runs one configuration to completion and
+//! produces a [`RunReport`]. The machine consists of the host node (node 0,
+//! terminals + coordinators) and `NumProcNodes` processing nodes (data +
+//! cohorts + CC managers). The network manager is the trivial switch of
+//! §3.5: zero wire time, with `InstPerMsg` CPU charged at both endpoints;
+//! since each node's message work is a priority FIFO queue, messages between
+//! any ordered pair of nodes arrive in send order, which the commit and
+//! abort protocols rely on.
+
+use crate::history::HistoryRecorder;
+use crate::metrics::{MetricsCollector, RunReport};
+use crate::protocol::{CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
+use crate::txn::{TxnPhase, TxnRuntime};
+use crate::workload::{generate_template, TxnTemplate};
+use ddbm_cc::{
+    make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts,
+};
+use ddbm_config::{Algorithm, Config, ConfigError, NodeId, Placement, TxnId};
+use denet::{EventCalendar, SimDuration, SimRng, SimTime};
+use ddbm_resource::{Cpu, DiskArray, LruPool};
+use std::collections::HashMap;
+
+struct NodeState {
+    cpu: Cpu<CpuJob>,
+    disks: DiskArray<DiskJob>,
+    cc: Box<dyn CcManager>,
+    /// Extension: per-node LRU buffer pool (capacity 0 = the paper's model,
+    /// every read access does a disk I/O).
+    buffer: LruPool<ddbm_config::PageId>,
+    /// Dedup for scheduled CPU polls: the earliest poll already scheduled.
+    cpu_poll_at: Option<SimTime>,
+    disk_poll_at: Option<SimTime>,
+}
+
+/// State of the rotating global deadlock detector (2PL only).
+struct SnoopState {
+    /// The node currently holding the Snoop role.
+    current: NodeId,
+    /// Monotone round counter; stale wake-ups and replies are discarded.
+    round: u64,
+    /// Replies still expected in the current gather.
+    awaiting: usize,
+    /// Edges gathered so far this round.
+    edges: Vec<(TxnId, TxnId)>,
+}
+
+/// See module docs.
+pub struct Simulator {
+    config: Config,
+    placement: Placement,
+    calendar: EventCalendar<Event>,
+    nodes: Vec<NodeState>,
+    txns: HashMap<TxnId, TxnRuntime>,
+    next_txn: u64,
+    rng_think: SimRng,
+    rng_work: SimRng,
+    rng_proc: SimRng,
+    rng_disk: SimRng,
+    metrics: MetricsCollector,
+    history: Option<HistoryRecorder>,
+    warmup_done: bool,
+    snoop: Option<SnoopState>,
+    finished: bool,
+    truncated: bool,
+}
+
+impl Simulator {
+    /// Build a simulator for `config` (validated first).
+    pub fn new(config: Config) -> Result<Simulator, ConfigError> {
+        config.validate()?;
+        let placement = config.placement();
+        let seed = config.control.seed;
+        let nodes = config
+            .node_ids()
+            .map(|id| NodeState {
+                cpu: Cpu::new(config.system.cpu_rate(id)),
+                disks: DiskArray::new(config.system.num_disks),
+                cc: make_manager_with(config.algorithm, config.system.lock_barging),
+                buffer: LruPool::new(config.system.buffer_pages as usize),
+                cpu_poll_at: None,
+                disk_poll_at: None,
+            })
+            .collect();
+        let snoop = (config.algorithm == Algorithm::TwoPhaseLocking).then(|| SnoopState {
+            current: NodeId(1),
+            round: 0,
+            awaiting: 0,
+            edges: Vec::new(),
+        });
+        Ok(Simulator {
+            placement,
+            calendar: EventCalendar::new(),
+            nodes,
+            txns: HashMap::new(),
+            next_txn: 1,
+            rng_think: SimRng::derive(seed, "think"),
+            rng_work: SimRng::derive(seed, "workload"),
+            rng_proc: SimRng::derive(seed, "page-processing"),
+            rng_disk: SimRng::derive(seed, "disk"),
+            history: config
+                .control
+                .record_history
+                .then(HistoryRecorder::new),
+            metrics: MetricsCollector::new(),
+            warmup_done: false,
+            snoop: None.or(snoop),
+            finished: false,
+            truncated: false,
+            config,
+        })
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> RunReport {
+        self.seed();
+        self.drive(false);
+        self.report(self.calendar.now())
+    }
+
+    /// Like [`Simulator::run`], but prints a progress line to stderr every
+    /// 100k events — a diagnostic aid for stalled configurations.
+    pub fn run_debug(mut self) -> RunReport {
+        self.seed();
+        self.drive(true);
+        self.report(self.calendar.now())
+    }
+
+    /// Schedule the initial events: every terminal starts thinking, and the
+    /// Snoop role (2PL only) starts at node `S1`.
+    fn seed(&mut self) {
+        for terminal in 0..self.config.workload.num_terminals {
+            let delay = self.think_delay();
+            self.calendar
+                .schedule(SimTime::ZERO + delay, Event::TerminalSubmit { terminal });
+        }
+        if self.snoop.is_some() {
+            let at = SimTime::ZERO + self.config.system.detection_interval;
+            self.calendar.schedule(
+                at,
+                Event::SnoopWake {
+                    node: NodeId(1),
+                    round: 0,
+                },
+            );
+        }
+    }
+
+    /// The event loop: pop and dispatch until the commit target or the
+    /// simulated-time wall is reached.
+    fn drive(&mut self, debug: bool) {
+        let mut count: u64 = 0;
+        while let Some((now, ev)) = self.calendar.pop() {
+            count += 1;
+            if debug && count.is_multiple_of(100_000) {
+                let mut phases = std::collections::HashMap::new();
+                for t in self.txns.values() {
+                    *phases.entry(format!("{:?}", t.phase)).or_insert(0usize) += 1;
+                }
+                eprintln!(
+                    "[{count}] t={now} commits={} active={} cal={} phases={phases:?} ev={ev:?}",
+                    self.metrics.total_commits,
+                    self.txns.len(),
+                    self.calendar.len(),
+                );
+            }
+            if now > SimTime::ZERO + self.config.control.max_sim_time {
+                self.truncated = true;
+                break;
+            }
+            self.on_event(now, ev);
+            if self.finished {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, end: SimTime) -> RunReport {
+        let m = &self.metrics;
+        let elapsed = end.since(m.measure_start).as_secs_f64();
+        let procs = &self.nodes[1..];
+        let proc_cpu = procs
+            .iter()
+            .map(|n| n.cpu.utilization(end))
+            .sum::<f64>()
+            / procs.len() as f64;
+        let disk = procs
+            .iter()
+            .map(|n| n.disks.mean_utilization(end))
+            .sum::<f64>()
+            / procs.len() as f64;
+        RunReport {
+            commits: m.commits,
+            aborts: m.aborts,
+            throughput: if elapsed > 0.0 {
+                m.commits as f64 / elapsed
+            } else {
+                0.0
+            },
+            mean_response_time: m.response_time.mean(),
+            response_time_std: m.response_time.std_dev(),
+            response_time_ci95: {
+                let hw = m.response_batches.ci95_half_width();
+                if hw.is_finite() { hw } else { 0.0 }
+            },
+            abort_ratio: if m.commits > 0 {
+                m.aborts as f64 / m.commits as f64
+            } else {
+                m.aborts as f64
+            },
+            mean_blocking_time: m.blocking_time.mean(),
+            host_cpu_utilization: self.nodes[0].cpu.utilization(end),
+            proc_cpu_utilization: proc_cpu,
+            disk_utilization: disk,
+            measured_seconds: elapsed,
+            truncated: self.truncated,
+            buffer_hit_ratio: {
+                let (hits, misses) = self.nodes[1..]
+                    .iter()
+                    .fold((0u64, 0u64), |(h, m), n| {
+                        (h + n.buffer.hits(), m + n.buffer.misses())
+                    });
+                if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + misses) as f64
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn on_event(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::TerminalSubmit { terminal } => self.submit_transaction(now, terminal),
+            Event::CpuPoll { node } => {
+                self.nodes[node.0].cpu_poll_at = None;
+                self.touch_cpu(now, node);
+                self.resched_cpu(now, node);
+            }
+            Event::DiskPoll { node } => {
+                self.nodes[node.0].disk_poll_at = None;
+                self.touch_disks(now, node);
+                self.resched_disks(now, node);
+            }
+            Event::Restart { txn } => self.restart_txn(now, txn),
+            Event::SnoopWake { node, round } => self.snoop_wake(now, node, round),
+            Event::LockTimeout { txn, run, cohort, access } => {
+                self.on_lock_timeout(now, txn, run, cohort, access)
+            }
+        }
+    }
+
+    /// 2PL-T: a cohort has been blocked for the full lock timeout — presume
+    /// deadlock and abort the transaction (the blocked node notifies the
+    /// coordinator, paying the usual message costs).
+    fn on_lock_timeout(
+        &mut self,
+        now: SimTime,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        access: usize,
+    ) {
+        let Some(txn) = self.txns.get(&id) else {
+            return;
+        };
+        if txn.run != run
+            || txn.phase != TxnPhase::Executing
+            || txn.cohorts[cohort].blocked_since.is_none()
+            || txn.cohorts[cohort].next_access != access
+        {
+            return; // the wait resolved before the timer fired
+        }
+        let node = txn.template.cohorts[cohort].node;
+        self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    fn submit_transaction(&mut self, now: SimTime, terminal: usize) {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let template: TxnTemplate =
+            generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
+        let txn = TxnRuntime::new(id, terminal, template, now);
+        self.txns.insert(id, txn);
+        // Run 1 pays the coordinator process-startup cost at the host.
+        let startup = self.config.system.inst_per_startup as f64;
+        self.cpu_shared(now, NodeId::HOST, CpuJob::CoordStartup { txn: id, run: 1 }, startup);
+    }
+
+    fn restart_txn(&mut self, now: SimTime, id: TxnId) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        debug_assert_eq!(txn.phase, TxnPhase::WaitingRestart);
+        txn.begin_run(now);
+        let run = txn.run;
+        // The coordinator process survives restarts; only the cohorts are
+        // re-initiated, so no CoordStartup cost here.
+        self.load_cohorts(now, id, run);
+    }
+
+    /// Send `LoadCohort` to the cohorts that should start now: all of them
+    /// for parallel execution, just the first for sequential.
+    fn load_cohorts(&mut self, now: SimTime, id: TxnId, run: RunId) {
+        let Some(txn) = self.txns.get(&id) else {
+            return;
+        };
+        let parallel = matches!(
+            self.config.workload.exec_pattern,
+            ddbm_config::ExecPattern::Parallel
+        );
+        let count = if parallel { txn.template.cohorts.len() } else { 1 };
+        let targets: Vec<(usize, NodeId)> = txn
+            .template
+            .cohorts
+            .iter()
+            .take(count)
+            .enumerate()
+            .map(|(i, c)| (i, c.node))
+            .collect();
+        for (cohort, node) in targets {
+            self.load_one_cohort(now, id, run, cohort, node);
+        }
+    }
+
+    fn load_one_cohort(
+        &mut self,
+        now: SimTime,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        node: NodeId,
+    ) {
+        if let Some(txn) = self.txns.get_mut(&id) {
+            txn.cohorts[cohort].loaded = true;
+        }
+        self.send(
+            now,
+            NodeId::HOST,
+            node,
+            MsgKind::LoadCohort { txn: id, run, cohort },
+        );
+    }
+
+    /// True if (txn, run, cohort) identifies a cohort that is still
+    /// executing — the guard that drops stale completions.
+    fn live_cohort(&self, id: TxnId, run: RunId, cohort: CohortIdx) -> bool {
+        self.txns.get(&id).is_some_and(|t| {
+            t.run == run
+                && t.phase == TxnPhase::Executing
+                && t.cohorts.get(cohort).is_some_and(|c| !c.done)
+        })
+    }
+
+    /// Start the next access of a cohort, or report it done.
+    fn cohort_continue(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
+        if !self.live_cohort(id, run, cohort) {
+            return;
+        }
+        let txn = &self.txns[&id];
+        let next = txn.cohorts[cohort].next_access;
+        let spec = &txn.template.cohorts[cohort];
+        if next >= spec.accesses.len() {
+            // All accesses complete: report to the coordinator. Locks and
+            // workspace updates are held through the commit protocol.
+            let node = spec.node;
+            if let Some(t) = self.txns.get_mut(&id) {
+                t.cohorts[cohort].done = true;
+            }
+            self.send(now, node, NodeId::HOST, MsgKind::CohortDone { txn: id, run, cohort });
+            return;
+        }
+        // Concurrency-control request processing first (InstPerCCReq).
+        let node = spec.node;
+        let cc_instr = self.config.system.inst_per_cc_req as f64;
+        self.cpu_shared(
+            now,
+            node,
+            CpuJob::CcRequest { txn: id, run, cohort, access: next },
+            cc_instr,
+        );
+    }
+
+    /// The CC request's CPU cost has been paid: ask the CC manager.
+    fn do_cc_request(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        access: usize,
+    ) {
+        if !self.live_cohort(id, run, cohort) {
+            return;
+        }
+        let txn = &self.txns[&id];
+        let meta = txn.meta();
+        let acc = txn.template.cohorts[cohort].accesses[access];
+        let resp = self.nodes[node.0]
+            .cc
+            .request_access(&meta, acc.page, acc.write);
+        let side = resp.side_effects.clone();
+        match resp.reply {
+            AccessReply::Granted => self.access_granted(now, node, id, run, cohort, access),
+            AccessReply::Blocked => {
+                if let Some(t) = self.txns.get_mut(&id) {
+                    t.cohorts[cohort].blocked_since = Some(now);
+                }
+                if self.config.algorithm == Algorithm::TwoPhaseLockingTimeout {
+                    let at = now + self.config.system.lock_timeout;
+                    self.calendar.schedule(
+                        at,
+                        Event::LockTimeout { txn: id, run, cohort, access },
+                    );
+                }
+            }
+            AccessReply::Rejected => {
+                // The requester must abort: tell the coordinator.
+                self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+            }
+        }
+        self.apply_release(now, node, side);
+    }
+
+    /// A granted access proceeds: reads do a synchronous disk I/O, writes go
+    /// straight to page processing (their disk write is deferred to after
+    /// commit — paper §3.3).
+    fn access_granted(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        access: usize,
+    ) {
+        if !self.live_cohort(id, run, cohort) {
+            return;
+        }
+        let acc = self.txns[&id].template.cohorts[cohort].accesses[access];
+        if !acc.write {
+            if let Some(h) = &mut self.history {
+                h.record(id, run, acc.page, false, now);
+            }
+        }
+        if acc.write {
+            self.start_page_processing(now, node, id, run, cohort, access);
+        } else if self.nodes[node.0].buffer.probe(&acc.page) {
+            // Buffer hit (extension; never taken with the paper's settings):
+            // the page is already in memory, skip the disk read.
+            self.start_page_processing(now, node, id, run, cohort, access);
+        } else {
+            let service = self.disk_service_time();
+            let disk = self.rng_disk.index(self.config.system.num_disks);
+            self.nodes[node.0].disks.submit(
+                now,
+                disk,
+                DiskJob::Read { txn: id, run, cohort, access, page: acc.page },
+                false,
+                service,
+            );
+            self.resched_disks(now, node);
+        }
+    }
+
+    fn start_page_processing(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        access: usize,
+    ) {
+        let instr = self
+            .rng_proc
+            .exponential(self.config.workload.inst_per_page as f64);
+        self.cpu_shared(
+            now,
+            node,
+            CpuJob::PageProcess { txn: id, run, cohort, access },
+            instr,
+        );
+    }
+
+    fn access_finished(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
+        if !self.live_cohort(id, run, cohort) {
+            return;
+        }
+        if let Some(t) = self.txns.get_mut(&id) {
+            t.cohorts[cohort].next_access += 1;
+        }
+        self.cohort_continue(now, id, run, cohort);
+    }
+
+    // ------------------------------------------------------------------
+    // CC side effects
+    // ------------------------------------------------------------------
+
+    /// Apply the consequences of a CC state change at `node`: resume granted
+    /// waiters, abort rejected waiters, and forward wounds/victims to the
+    /// coordinator.
+    fn apply_release(&mut self, now: SimTime, node: NodeId, rel: ReleaseResponse) {
+        for (id, _page) in rel.granted {
+            let Some(txn) = self.txns.get_mut(&id) else {
+                continue;
+            };
+            let Some(cohort) = txn.cohort_at(node) else {
+                continue;
+            };
+            let run = txn.run;
+            if let Some(since) = txn.cohorts[cohort].blocked_since.take() {
+                if txn.phase == TxnPhase::Executing {
+                    self.metrics.record_blocking(now.since(since));
+                }
+            }
+            let access = txn.cohorts[cohort].next_access;
+            self.access_granted(now, node, id, run, cohort, access);
+        }
+        for (id, _page) in rel.rejected {
+            let Some(txn) = self.txns.get_mut(&id) else {
+                continue;
+            };
+            let Some(cohort) = txn.cohort_at(node) else {
+                continue;
+            };
+            let run = txn.run;
+            if let Some(since) = txn.cohorts[cohort].blocked_since.take() {
+                if txn.phase == TxnPhase::Executing {
+                    self.metrics.record_blocking(now.since(since));
+                }
+            }
+            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+        }
+        for id in rel.must_abort {
+            let Some(txn) = self.txns.get(&id) else {
+                continue;
+            };
+            let run = txn.run;
+            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    fn handle_message(&mut self, now: SimTime, msg: Message) {
+        let node = msg.to;
+        match msg.kind {
+            MsgKind::LoadCohort { txn, run, cohort } => {
+                // Drop if the run died while the message was in flight.
+                if !self.txns.get(&txn).is_some_and(|t| {
+                    t.run == run && t.phase == TxnPhase::Executing
+                }) {
+                    return;
+                }
+                let startup = self.config.system.inst_per_startup as f64;
+                self.cpu_shared(now, node, CpuJob::CohortStartup { txn, run, cohort }, startup);
+            }
+            MsgKind::CohortDone { txn, run, cohort } => self.on_cohort_done(now, txn, run, cohort),
+            MsgKind::Prepare { txn, run, cohort, commit_ts } => {
+                let Some(t) = self.txns.get(&txn) else { return };
+                if t.run != run {
+                    return;
+                }
+                let yes = self.nodes[node.0].cc.certify(&t.meta(), commit_ts);
+                self.send(now, node, NodeId::HOST, MsgKind::Vote { txn, run, cohort, yes });
+            }
+            MsgKind::Vote { txn, run, yes, .. } => self.on_vote(now, txn, run, yes),
+            MsgKind::Decision { txn, run, cohort, commit } => {
+                self.on_decision(now, node, txn, run, cohort, commit)
+            }
+            MsgKind::Ack { txn, run, .. } => self.on_ack(now, txn, run),
+            MsgKind::AbortRequest { txn, run } => self.on_abort_request(now, txn, run),
+            MsgKind::AbortCohort { txn, run, cohort } => {
+                // Dismantle the cohort: discard CC state, cancel its pending
+                // CPU work and queued disk reads. In-service disk requests
+                // complete harmlessly (their completions are stale-dropped).
+                let rel = self.nodes[node.0].cc.abort(txn);
+                self.apply_release(now, node, rel);
+                self.touch_cpu(now, node);
+                self.nodes[node.0].cpu.cancel_shared_where(|job| match job {
+                    CpuJob::CohortStartup { txn: t, run: r, .. }
+                    | CpuJob::CcRequest { txn: t, run: r, .. }
+                    | CpuJob::PageProcess { txn: t, run: r, .. } => *t == txn && *r == run,
+                    _ => false,
+                });
+                self.resched_cpu(now, node);
+                self.nodes[node.0].disks.cancel_queued_where(|job| {
+                    matches!(job, DiskJob::Read { txn: t, run: r, .. } if *t == txn && *r == run)
+                });
+                self.send(now, node, NodeId::HOST, MsgKind::AbortAck { txn, run, cohort });
+            }
+            MsgKind::AbortAck { txn, run, .. } => self.on_abort_ack(now, txn, run),
+            MsgKind::SnoopRequest { round } => {
+                let edges = self.nodes[node.0].cc.waits_for_edges();
+                self.send(now, node, msg.from, MsgKind::SnoopReply { round, edges });
+            }
+            MsgKind::SnoopReply { round, edges } => self.on_snoop_reply(now, node, round, edges),
+            MsgKind::SnoopPass => {
+                let Some(snoop) = &self.snoop else { return };
+                let round = snoop.round;
+                let at = now + self.config.system.detection_interval;
+                self.calendar.schedule(at, Event::SnoopWake { node, round });
+            }
+        }
+    }
+
+    fn on_cohort_done(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if txn.run != run || txn.phase != TxnPhase::Executing {
+            return;
+        }
+        txn.cohorts[cohort].done = true;
+        if !txn.all_done() {
+            // Sequential execution: fire up the next cohort.
+            if matches!(
+                self.config.workload.exec_pattern,
+                ddbm_config::ExecPattern::Sequential
+            ) {
+                if let Some(next) = txn.cohorts.iter().position(|c| !c.loaded) {
+                    let node = txn.template.cohorts[next].node;
+                    self.load_one_cohort(now, id, run, next, node);
+                }
+            }
+            return;
+        }
+        // All cohorts done: begin phase 1 of commit with a globally unique
+        // commit timestamp (used by OPT certification).
+        txn.phase = TxnPhase::Preparing;
+        txn.votes_received = 0;
+        txn.all_yes = true;
+        let commit_ts = Ts::new(now.0, id);
+        txn.commit_ts = Some(commit_ts);
+        let targets: Vec<(usize, NodeId)> = txn
+            .template
+            .cohorts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.node))
+            .collect();
+        for (cohort, node) in targets {
+            self.send(
+                now,
+                NodeId::HOST,
+                node,
+                MsgKind::Prepare { txn: id, run, cohort, commit_ts },
+            );
+        }
+    }
+
+    fn on_vote(&mut self, now: SimTime, id: TxnId, run: RunId, yes: bool) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if txn.run != run || txn.phase != TxnPhase::Preparing {
+            return;
+        }
+        txn.votes_received += 1;
+        txn.all_yes &= yes;
+        if txn.votes_received < txn.template.cohorts.len() {
+            return;
+        }
+        let commit = txn.all_yes;
+        txn.phase = if commit {
+            TxnPhase::Committing
+        } else {
+            TxnPhase::AbortingVote
+        };
+        txn.acks_outstanding = txn.template.cohorts.len();
+        let targets: Vec<(usize, NodeId)> = txn
+            .template
+            .cohorts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.node))
+            .collect();
+        for (cohort, node) in targets {
+            self.send(
+                now,
+                NodeId::HOST,
+                node,
+                MsgKind::Decision { txn: id, run, cohort, commit },
+            );
+        }
+    }
+
+    fn on_decision(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        id: TxnId,
+        run: RunId,
+        cohort: CohortIdx,
+        commit: bool,
+    ) {
+        let Some(txn) = self.txns.get(&id) else {
+            return;
+        };
+        if txn.run != run {
+            return;
+        }
+        let pages: Vec<ddbm_config::PageId> = txn.template.cohorts[cohort]
+            .accesses
+            .iter()
+            .filter(|a| a.write)
+            .map(|a| a.page)
+            .collect();
+        if commit {
+            // Record installs *before* releasing locks: a release can grant
+            // a waiter at this same instant, and its read must sequence
+            // after these writes.
+            if let Some(h) = &mut self.history {
+                for p in &pages {
+                    h.record(id, run, *p, true, now);
+                }
+            }
+            let rel = self.nodes[node.0].cc.commit(id);
+            self.apply_release(now, node, rel);
+            // Kick off the asynchronous write-back chain for this cohort's
+            // updated pages: InstPerUpdate CPU per page, then the disk write.
+            if !pages.is_empty() {
+                let instr = self.config.system.inst_per_update as f64;
+                self.cpu_shared(now, node, CpuJob::UpdateInit { txn: id, pages }, instr);
+            }
+        } else {
+            let rel = self.nodes[node.0].cc.abort(id);
+            self.apply_release(now, node, rel);
+        }
+        self.send(now, node, NodeId::HOST, MsgKind::Ack { txn: id, run, cohort });
+    }
+
+    fn on_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if txn.run != run {
+            return;
+        }
+        debug_assert!(matches!(
+            txn.phase,
+            TxnPhase::Committing | TxnPhase::AbortingVote
+        ));
+        txn.acks_outstanding -= 1;
+        if txn.acks_outstanding > 0 {
+            return;
+        }
+        match txn.phase {
+            TxnPhase::Committing => self.complete_commit(now, id),
+            TxnPhase::AbortingVote => self.complete_abort(now, id),
+            _ => {}
+        }
+    }
+
+    /// The transaction is durably committed: record metrics, free state, and
+    /// put the terminal back to thinking.
+    fn complete_commit(&mut self, now: SimTime, id: TxnId) {
+        let txn = self.txns.remove(&id).expect("committing txn exists");
+        if let Some(h) = &mut self.history {
+            h.commit(id, txn.run);
+        }
+        self.metrics.record_commit(now.since(txn.origin));
+        let delay = self.think_delay();
+        self.calendar.schedule(
+            now + delay,
+            Event::TerminalSubmit {
+                terminal: txn.terminal,
+            },
+        );
+        self.check_progress(now);
+    }
+
+    /// An aborted run is fully dismantled: count it and schedule the rerun
+    /// after one observed average response time (paper §3.3).
+    fn complete_abort(&mut self, now: SimTime, id: TxnId) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        txn.phase = TxnPhase::WaitingRestart;
+        let fallback = now.since(txn.origin);
+        let run = txn.run;
+        if let Some(h) = &mut self.history {
+            h.abort(id, run);
+        }
+        self.metrics.record_abort();
+        let delay = self.metrics.restart_delay(fallback);
+        self.calendar.schedule(now + delay, Event::Restart { txn: id });
+    }
+
+    fn on_abort_request(&mut self, now: SimTime, id: TxnId, run: RunId) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return; // already committed
+        };
+        if txn.run != run || txn.abort_in_progress() || txn.wound_immune() {
+            return;
+        }
+        // Kill this run: dismantle every cohort loaded so far.
+        txn.phase = TxnPhase::Aborting;
+        let loaded: Vec<(usize, NodeId)> = txn
+            .template
+            .cohorts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| txn.cohorts[*i].loaded)
+            .map(|(i, c)| (i, c.node))
+            .collect();
+        txn.acks_outstanding = loaded.len();
+        if loaded.is_empty() {
+            // No cohort ever started (abort raced cohort loading): the run
+            // dies instantly.
+            self.complete_abort(now, id);
+            return;
+        }
+        for (cohort, node) in loaded {
+            self.send(
+                now,
+                NodeId::HOST,
+                node,
+                MsgKind::AbortCohort { txn: id, run, cohort },
+            );
+        }
+    }
+
+    fn on_abort_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
+        let Some(txn) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if txn.run != run || txn.phase != TxnPhase::Aborting {
+            return;
+        }
+        txn.acks_outstanding -= 1;
+        if txn.acks_outstanding == 0 {
+            self.complete_abort(now, id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Global deadlock detection (the Snoop, 2PL only)
+    // ------------------------------------------------------------------
+
+    fn snoop_wake(&mut self, now: SimTime, node: NodeId, round: u64) {
+        let Some(snoop) = &mut self.snoop else {
+            return;
+        };
+        if snoop.round != round || snoop.current != node {
+            return; // stale wake-up
+        }
+        snoop.edges = self.nodes[node.0].cc.waits_for_edges();
+        let others: Vec<NodeId> = (1..self.nodes.len())
+            .map(NodeId)
+            .filter(|n| *n != node)
+            .collect();
+        if others.is_empty() {
+            self.finish_detection(now, node);
+            return;
+        }
+        self.snoop.as_mut().expect("snoop exists").awaiting = others.len();
+        for other in others {
+            self.send(now, node, other, MsgKind::SnoopRequest { round });
+        }
+    }
+
+    fn on_snoop_reply(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        round: u64,
+        edges: Vec<(TxnId, TxnId)>,
+    ) {
+        let Some(snoop) = &mut self.snoop else {
+            return;
+        };
+        if snoop.round != round || snoop.current != node || snoop.awaiting == 0 {
+            return;
+        }
+        snoop.edges.extend(edges);
+        snoop.awaiting -= 1;
+        if snoop.awaiting == 0 {
+            self.finish_detection(now, node);
+        }
+    }
+
+    /// Union the gathered edges, abort the youngest member of every cycle,
+    /// and pass the Snoop role to the next node.
+    fn finish_detection(&mut self, now: SimTime, node: NodeId) {
+        let snoop = self.snoop.as_mut().expect("2PL only");
+        let mut edges = std::mem::take(&mut snoop.edges);
+        // Edges naming transactions that finished while the gather was in
+        // flight are stale; drop them.
+        edges.retain(|(a, b)| self.txns.contains_key(a) && self.txns.contains_key(b));
+        let txns = &self.txns;
+        let victims = resolve_deadlocks(&edges, |t| {
+            txns.get(&t)
+                .map(|rt| rt.meta().initial_ts)
+                .unwrap_or(Ts::ZERO)
+        });
+        let requests: Vec<(TxnId, RunId)> = victims
+            .into_iter()
+            .filter_map(|v| self.txns.get(&v).map(|t| (v, t.run)))
+            .collect();
+        for (victim, run) in requests {
+            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: victim, run });
+        }
+        // Pass the role round-robin over the processing nodes.
+        let snoop = self.snoop.as_mut().expect("2PL only");
+        snoop.round += 1;
+        let next = NodeId(node.0 % (self.nodes.len() - 1) + 1);
+        snoop.current = next;
+        if next == node {
+            // Single processing node: keep the role, schedule the next wake.
+            let at = now + self.config.system.detection_interval;
+            let round = snoop.round;
+            self.calendar.schedule(at, Event::SnoopWake { node, round });
+        } else {
+            self.send(now, node, next, MsgKind::SnoopPass);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource plumbing
+    // ------------------------------------------------------------------
+
+    /// Advance a node's CPU and handle every completed job.
+    fn touch_cpu(&mut self, now: SimTime, node: NodeId) {
+        let done = self.nodes[node.0].cpu.advance(now);
+        for job in done {
+            self.handle_cpu_done(now, node, job);
+        }
+    }
+
+    fn resched_cpu(&mut self, now: SimTime, node: NodeId) {
+        let _ = now;
+        let state = &mut self.nodes[node.0];
+        if let Some(at) = state.cpu.next_completion() {
+            if state.cpu_poll_at.is_none_or(|t| t > at) {
+                state.cpu_poll_at = Some(at);
+                self.calendar.schedule(at, Event::CpuPoll { node });
+            }
+        }
+    }
+
+    fn touch_disks(&mut self, now: SimTime, node: NodeId) {
+        let done = self.nodes[node.0].disks.advance(now);
+        for job in done {
+            self.handle_disk_done(now, node, job);
+        }
+    }
+
+    fn resched_disks(&mut self, now: SimTime, node: NodeId) {
+        let _ = now;
+        let state = &mut self.nodes[node.0];
+        if let Some(at) = state.disks.next_completion() {
+            if state.disk_poll_at.is_none_or(|t| t > at) {
+                state.disk_poll_at = Some(at);
+                self.calendar.schedule(at, Event::DiskPoll { node });
+            }
+        }
+    }
+
+    /// Submit ordinary (processor-shared) CPU work; zero-cost work completes
+    /// inline.
+    fn cpu_shared(&mut self, now: SimTime, node: NodeId, job: CpuJob, instr: f64) {
+        self.touch_cpu(now, node);
+        if let Some(done) = self.nodes[node.0].cpu.submit_shared(now, job, instr) {
+            self.handle_cpu_done(now, node, done);
+        }
+        self.resched_cpu(now, node);
+    }
+
+    /// Queue the send-side protocol processing for a message.
+    fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, kind: MsgKind) {
+        let msg = Message { from, to, kind };
+        let instr = self.config.system.inst_per_msg as f64;
+        self.touch_cpu(now, from);
+        if let Some(CpuJob::MsgSend(m)) =
+            self.nodes[from.0]
+                .cpu
+                .submit_message(now, CpuJob::MsgSend(msg), instr)
+        {
+            self.deliver(now, m);
+        }
+        self.resched_cpu(now, from);
+    }
+
+    /// The network manager: zero wire time — hand the message to the
+    /// receive-side CPU immediately.
+    fn deliver(&mut self, now: SimTime, msg: Message) {
+        let to = msg.to;
+        let instr = self.config.system.inst_per_msg as f64;
+        self.touch_cpu(now, to);
+        if let Some(CpuJob::MsgRecv(m)) =
+            self.nodes[to.0]
+                .cpu
+                .submit_message(now, CpuJob::MsgRecv(msg), instr)
+        {
+            self.handle_message(now, m);
+        }
+        self.resched_cpu(now, to);
+    }
+
+    fn handle_cpu_done(&mut self, now: SimTime, node: NodeId, job: CpuJob) {
+        match job {
+            CpuJob::CoordStartup { txn, run } => self.load_cohorts(now, txn, run),
+            CpuJob::CohortStartup { txn, run, cohort } => {
+                if self.live_cohort(txn, run, cohort) {
+                    if let Some(t) = self.txns.get_mut(&txn) {
+                        t.cohorts[cohort].started = true;
+                    }
+                    self.cohort_continue(now, txn, run, cohort);
+                }
+            }
+            CpuJob::CcRequest { txn, run, cohort, access } => {
+                self.do_cc_request(now, node, txn, run, cohort, access)
+            }
+            CpuJob::PageProcess { txn, run, cohort, .. } => {
+                self.access_finished(now, txn, run, cohort)
+            }
+            CpuJob::UpdateInit { txn, mut pages } => {
+                // Issue the disk write for the first page, then chain the
+                // next initiation. The fresh page version is in memory, so
+                // it enters the buffer pool (extension; no-op at capacity 0).
+                let page = pages.remove(0);
+                self.nodes[node.0].buffer.insert(page);
+                let service = self.disk_service_time();
+                let disk = self.rng_disk.index(self.config.system.num_disks);
+                self.nodes[node.0]
+                    .disks
+                    .submit(now, disk, DiskJob::WriteBack { txn }, true, service);
+                self.resched_disks(now, node);
+                if !pages.is_empty() {
+                    let instr = self.config.system.inst_per_update as f64;
+                    self.cpu_shared(now, node, CpuJob::UpdateInit { txn, pages }, instr);
+                }
+            }
+            CpuJob::MsgSend(msg) => self.deliver(now, msg),
+            CpuJob::MsgRecv(msg) => self.handle_message(now, msg),
+        }
+    }
+
+    fn handle_disk_done(&mut self, now: SimTime, node: NodeId, job: DiskJob) {
+        match job {
+            DiskJob::Read { txn, run, cohort, access, page } => {
+                self.nodes[node.0].buffer.insert(page);
+                if self.live_cohort(txn, run, cohort) {
+                    self.start_page_processing(now, node, txn, run, cohort, access);
+                }
+            }
+            DiskJob::WriteBack { .. } => {
+                // Fire-and-forget: the transaction committed long ago.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Distributions and run control
+    // ------------------------------------------------------------------
+
+    fn think_delay(&mut self) -> SimDuration {
+        let secs = self
+            .rng_think
+            .exponential(self.config.workload.think_time_secs);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    fn disk_service_time(&mut self) -> SimDuration {
+        let lo = self.config.system.min_disk_time.as_secs_f64();
+        let hi = self.config.system.max_disk_time.as_secs_f64();
+        SimDuration::from_secs_f64(self.rng_disk.uniform_f64(lo, hi))
+    }
+
+    /// After every commit: end warmup or end the run.
+    fn check_progress(&mut self, now: SimTime) {
+        if !self.warmup_done {
+            if self.metrics.total_commits >= self.config.control.warmup_commits {
+                self.warmup_done = true;
+                self.metrics.reset(now);
+                for n in &mut self.nodes {
+                    n.cpu.reset_utilization(now);
+                    n.disks.reset_utilization(now);
+                    n.buffer.reset_stats();
+                }
+            }
+            return;
+        }
+        if self.metrics.commits >= self.config.control.measure_commits {
+            self.finished = true;
+        }
+    }
+}
+
+/// Convenience: build, run, and report in one call.
+pub fn run_config(config: Config) -> Result<RunReport, ConfigError> {
+    Ok(Simulator::new(config)?.run())
+}
+
+/// Run with history recording forced on and return the report together with
+/// the committed-history recorder, ready for serializability checking.
+pub fn run_with_history(
+    mut config: Config,
+) -> Result<(RunReport, HistoryRecorder), ConfigError> {
+    config.control.record_history = true;
+    let mut sim = Simulator::new(config)?;
+    sim.seed();
+    sim.drive(false);
+    let report = sim.report(sim.calendar.now());
+    let history = sim.history.take().expect("recording was enabled");
+    Ok((report, history))
+}

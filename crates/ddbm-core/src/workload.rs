@@ -1,0 +1,217 @@
+//! Workload generation (the paper's *source* component, §3.2).
+//!
+//! A transaction accesses every partition of one relation — the relation its
+//! terminal's group is bound to. The number of pages accessed per partition
+//! is uniform in `[min_pages_per_file, max_pages_per_file]`, the pages are
+//! chosen uniformly without replacement within the partition, and each page
+//! is independently a *write* access with probability `write_prob` (write
+//! accesses do no synchronous disk read — the page image is produced by the
+//! transaction and written back asynchronously after commit, §3.3).
+//!
+//! Restarted runs replay the identical access set, so the template is
+//! generated once per transaction and kept until it commits.
+
+use ddbm_config::{Config, FileId, NodeId, PageId, Placement};
+use denet::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One page access by a cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Page.
+    pub page: PageId,
+    /// Write.
+    pub write: bool,
+}
+
+/// The work one cohort performs at its node, in access order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CohortSpec {
+    /// Node.
+    pub node: NodeId,
+    /// Accesses.
+    pub accesses: Vec<Access>,
+}
+
+/// The full access plan of a transaction: one cohort per node storing any
+/// partition of the accessed relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnTemplate {
+    /// Relation.
+    pub relation: usize,
+    /// Cohorts.
+    pub cohorts: Vec<CohortSpec>,
+}
+
+impl TxnTemplate {
+    /// Total pages accessed.
+    pub fn total_accesses(&self) -> usize {
+        self.cohorts.iter().map(|c| c.accesses.len()).sum()
+    }
+
+    /// Total write accesses.
+    pub fn total_writes(&self) -> usize {
+        self.cohorts
+            .iter()
+            .flat_map(|c| &c.accesses)
+            .filter(|a| a.write)
+            .count()
+    }
+}
+
+/// Generate the access plan for a transaction of `terminal`.
+///
+/// `rng` should be the dedicated workload stream so that access patterns are
+/// independent of the rest of the simulation (and identical across the five
+/// algorithms when run with the same master seed).
+pub fn generate_template(
+    config: &Config,
+    placement: &Placement,
+    rng: &mut SimRng,
+    terminal: usize,
+) -> TxnTemplate {
+    let relation = config.relation_of_terminal(terminal);
+    let mut cohorts: Vec<CohortSpec> = placement
+        .cohort_groups(relation)
+        .into_iter()
+        .map(|(node, files)| {
+            let mut accesses = Vec::new();
+            for file in files {
+                push_file_accesses(config, rng, file, &mut accesses);
+            }
+            CohortSpec { node, accesses }
+        })
+        .collect();
+    // Guard against degenerate configs that leave a cohort with zero
+    // accesses (cannot happen with min_pages >= 1, but keep the invariant
+    // explicit for the simulator's all-cohorts-report protocol).
+    cohorts.retain(|c| !c.accesses.is_empty());
+    debug_assert_eq!(cohorts.len(), config.database.declustering_degree);
+    TxnTemplate { relation, cohorts }
+}
+
+fn push_file_accesses(config: &Config, rng: &mut SimRng, file: FileId, out: &mut Vec<Access>) {
+    let w = &config.workload;
+    let n = rng.uniform_u64(w.min_pages_per_file, w.max_pages_per_file) as usize;
+    let pages = rng.sample_distinct(config.database.pages_per_file as usize, n);
+    for p in pages {
+        out.push(Access {
+            page: PageId {
+                file,
+                page: p as u64,
+            },
+            write: rng.bernoulli(w.write_prob),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddbm_config::Algorithm;
+
+    fn setup(degree: usize, nodes: usize) -> (Config, Placement, SimRng) {
+        let c = Config::paper(Algorithm::TwoPhaseLocking, nodes, degree, 8.0);
+        let p = c.placement();
+        (c, p, SimRng::from_seed(42))
+    }
+
+    #[test]
+    fn eight_way_template_has_eight_single_file_cohorts() {
+        let (c, p, mut rng) = setup(8, 8);
+        let t = generate_template(&c, &p, &mut rng, 0);
+        assert_eq!(t.relation, 0);
+        assert_eq!(t.cohorts.len(), 8);
+        for cohort in &t.cohorts {
+            let n = cohort.accesses.len();
+            assert!((4..=12).contains(&n), "cohort accessed {n} pages");
+            // All accesses belong to one file stored at the cohort's node.
+            let file = cohort.accesses[0].page.file;
+            assert!(cohort.accesses.iter().all(|a| a.page.file == file));
+            assert_eq!(p.node_of(file), cohort.node);
+        }
+    }
+
+    #[test]
+    fn one_way_template_is_a_single_cohort_over_eight_files() {
+        let (c, p, mut rng) = setup(1, 8);
+        let t = generate_template(&c, &p, &mut rng, 17); // group 1
+        assert_eq!(t.relation, 1);
+        assert_eq!(t.cohorts.len(), 1);
+        let files: std::collections::HashSet<_> = t.cohorts[0]
+            .accesses
+            .iter()
+            .map(|a| a.page.file)
+            .collect();
+        assert_eq!(files.len(), 8);
+        let total = t.total_accesses();
+        assert!((32..=96).contains(&total));
+    }
+
+    #[test]
+    fn pages_within_a_file_are_distinct() {
+        let (c, p, mut rng) = setup(8, 8);
+        for term in 0..64 {
+            let t = generate_template(&c, &p, &mut rng, term);
+            for cohort in &t.cohorts {
+                let mut pages: Vec<u64> = cohort.accesses.iter().map(|a| a.page.page).collect();
+                let n = pages.len();
+                pages.sort_unstable();
+                pages.dedup();
+                assert_eq!(pages.len(), n, "duplicate page access");
+                assert!(pages.iter().all(|p| *p < c.database.pages_per_file));
+            }
+        }
+    }
+
+    #[test]
+    fn write_fraction_tracks_write_prob() {
+        let (c, p, mut rng) = setup(8, 8);
+        let mut total = 0usize;
+        let mut writes = 0usize;
+        for term in 0..128 {
+            for _ in 0..10 {
+                let t = generate_template(&c, &p, &mut rng, term);
+                total += t.total_accesses();
+                writes += t.total_writes();
+            }
+        }
+        let frac = writes as f64 / total as f64;
+        assert!(
+            (frac - c.workload.write_prob).abs() < 0.02,
+            "write fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn terminal_group_determines_relation() {
+        let (c, p, mut rng) = setup(8, 8);
+        for term in 0..128 {
+            let t = generate_template(&c, &p, &mut rng, term);
+            assert_eq!(t.relation, term / 16);
+        }
+    }
+
+    #[test]
+    fn mean_accesses_near_sixty_four() {
+        let (c, p, mut rng) = setup(8, 8);
+        let n = 400;
+        let total: usize = (0..n)
+            .map(|i| generate_template(&c, &p, &mut rng, i % 128).total_accesses())
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 64.0).abs() < 2.0, "mean accesses {mean}");
+    }
+
+    #[test]
+    fn four_node_machine_four_cohorts() {
+        let (c, p, mut rng) = setup(4, 4);
+        let t = generate_template(&c, &p, &mut rng, 5);
+        assert_eq!(t.cohorts.len(), 4);
+        for cohort in &t.cohorts {
+            let files: std::collections::HashSet<_> =
+                cohort.accesses.iter().map(|a| a.page.file).collect();
+            assert_eq!(files.len(), 2, "two partitions per node at degree 4");
+        }
+    }
+}

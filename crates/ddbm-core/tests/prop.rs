@@ -1,0 +1,87 @@
+//! Property-based tests of the whole simulator over randomized (small)
+//! configurations: determinism, liveness, and metric sanity for every
+//! algorithm under arbitrary workloads.
+
+use ddbm_config::{Algorithm, Config, ExecPattern};
+use ddbm_core::run_config;
+use denet::SimDuration;
+use proptest::prelude::*;
+
+fn algo_strategy() -> impl Strategy<Value = Algorithm> {
+    prop::sample::select(Algorithm::ALL.to_vec())
+}
+
+/// A random but always-valid small configuration.
+#[allow(clippy::too_many_arguments)]
+fn config_strategy() -> impl Strategy<Value = Config> {
+    (
+        algo_strategy(),
+        prop::sample::select(vec![(1usize, 1usize), (2, 2), (4, 2), (8, 8), (8, 1)]),
+        1u64..4,             // min pages per file
+        0u64..3,             // extra pages beyond min
+        0.0f64..=1.0,        // write probability
+        prop::sample::select(vec![0.0f64, 0.5, 4.0]),
+        any::<u64>(),        // seed
+        prop::bool::ANY,     // sequential?
+        prop::sample::select(vec![0u64, 1_000, 4_000]), // msg cost
+    )
+        .prop_map(
+            |(algo, (nodes, degree), min_p, extra, wp, think, seed, seq, msg)| {
+                let mut c = Config::paper(algo, nodes, degree, think);
+                c.workload.num_terminals = 16;
+                c.workload.min_pages_per_file = min_p;
+                c.workload.mean_pages_per_file = min_p + extra / 2;
+                c.workload.max_pages_per_file = min_p + extra;
+                c.workload.write_prob = wp;
+                c.workload.exec_pattern = if seq {
+                    ExecPattern::Sequential
+                } else {
+                    ExecPattern::Parallel
+                };
+                c.database.pages_per_file = 60;
+                c.system.inst_per_msg = msg;
+                c.control.seed = seed;
+                c.control.warmup_commits = 5;
+                c.control.measure_commits = 40;
+                c.control.max_sim_time = SimDuration::from_secs_f64(50_000.0);
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random configuration runs to completion (no livelock, no missed
+    /// deadlock, no panic) and produces sane metrics.
+    #[test]
+    fn random_configs_complete_with_sane_metrics(config in config_strategy()) {
+        prop_assert!(config.validate().is_ok());
+        let r = run_config(config.clone()).expect("validated");
+        prop_assert!(!r.truncated, "{:?} stalled", config.algorithm);
+        prop_assert_eq!(r.commits, 40);
+        prop_assert!(r.throughput > 0.0);
+        prop_assert!(r.mean_response_time > 0.0 && r.mean_response_time.is_finite());
+        prop_assert!(r.abort_ratio >= 0.0);
+        for u in [r.host_cpu_utilization, r.proc_cpu_utilization, r.disk_utilization] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        if config.algorithm == Algorithm::NoDataContention {
+            prop_assert_eq!(r.aborts, 0);
+        }
+    }
+
+    /// Bit-for-bit determinism: the same configuration always produces the
+    /// same report.
+    #[test]
+    fn random_configs_are_deterministic(config in config_strategy()) {
+        let a = run_config(config.clone()).expect("validated");
+        let b = run_config(config).expect("validated");
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.aborts, b.aborts);
+        prop_assert_eq!(a.mean_response_time, b.mean_response_time);
+        prop_assert_eq!(a.throughput, b.throughput);
+        prop_assert_eq!(a.host_cpu_utilization, b.host_cpu_utilization);
+        prop_assert_eq!(a.disk_utilization, b.disk_utilization);
+    }
+}

@@ -1,0 +1,217 @@
+//! ASCII chart rendering for [`FigureResult`]s — quick visual inspection of
+//! reproduced curves without leaving the terminal.
+//!
+//! The renderer plots every series on a shared grid, one letter per series,
+//! with a legend; points that collide show the earlier series' letter. The
+//! paper's figures are line charts over think time; at terminal resolution a
+//! scatter of the sampled points conveys the same shape.
+
+use crate::table::FigureResult;
+use std::fmt::Write as _;
+
+/// Plot dimensions (plot area, excluding axes and legend).
+#[derive(Debug, Clone, Copy)]
+pub struct ChartSize {
+    /// Width.
+    pub width: usize,
+    /// Height.
+    pub height: usize,
+}
+
+impl Default for ChartSize {
+    fn default() -> Self {
+        ChartSize {
+            width: 64,
+            height: 20,
+        }
+    }
+}
+
+/// Render `fig` as an ASCII chart.
+///
+/// Non-finite points are skipped. Returns a note instead of a chart when
+/// there is nothing to plot.
+pub fn render(fig: &FigureResult, size: ChartSize) -> String {
+    let mut pts: Vec<(usize, f64, f64)> = Vec::new(); // (series, x, y)
+    for (si, s) in fig.series.iter().enumerate() {
+        for (x, y) in fig.xs.iter().zip(&s.ys) {
+            if y.is_finite() {
+                pts.push((si, *x, *y));
+            }
+        }
+    }
+    if pts.is_empty() || size.width < 2 || size.height < 2 {
+        return format!("{}: nothing to plot\n", fig.id);
+    }
+    let (xmin, xmax) = bounds(pts.iter().map(|p| p.1));
+    let (ymin, ymax) = bounds(pts.iter().map(|p| p.2));
+    let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
+    let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
+
+    let mut grid = vec![vec![' '; size.width]; size.height];
+    for (si, x, y) in &pts {
+        let col = (((x - xmin) / xspan) * (size.width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / yspan) * (size.height - 1) as f64).round() as usize;
+        let row = size.height - 1 - row; // y grows upward
+        let cell = &mut grid[row][col.min(size.width - 1)];
+        if *cell == ' ' {
+            *cell = letter(*si);
+        } else if *cell != letter(*si) {
+            *cell = '*'; // collision of different series
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", fig.id, fig.title);
+    let ylab_w = 10;
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:>9.3}")
+        } else if r == size.height - 1 {
+            format!("{ymin:>9.3}")
+        } else {
+            " ".repeat(9)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label} |{line}");
+    }
+    let _ = writeln!(
+        out,
+        "{} +{}",
+        " ".repeat(ylab_w - 1),
+        "-".repeat(size.width)
+    );
+    let _ = writeln!(
+        out,
+        "{}{:<w$.3}{:>w2$.3}   ({})",
+        " ".repeat(ylab_w + 1),
+        xmin,
+        xmax,
+        fig.x_label,
+        w = size.width / 2,
+        w2 = size.width - size.width / 2 - 3,
+    );
+    let _ = write!(out, "  legend:");
+    for (si, s) in fig.series.iter().enumerate() {
+        let _ = write!(out, " {}={}", letter(si), s.name);
+    }
+    let _ = writeln!(out, "   (y: {})", fig.y_label);
+    out
+}
+
+fn letter(series: usize) -> char {
+    let letters = [
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p',
+    ];
+    letters[series % letters.len()]
+}
+
+fn bounds(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        // Give a flat series some vertical room.
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Series;
+
+    fn fig() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "Test figure".into(),
+            x_label: "think".into(),
+            y_label: "tps".into(),
+            xs: vec![0.0, 10.0, 20.0, 30.0],
+            series: vec![
+                Series {
+                    name: "2PL".into(),
+                    ys: vec![1.0, 5.0, 9.0, 3.0],
+                },
+                Series {
+                    name: "OPT".into(),
+                    ys: vec![0.5, 2.0, f64::NAN, 1.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_series_and_legend() {
+        let s = render(&fig(), ChartSize::default());
+        assert!(s.contains("figX"));
+        assert!(s.contains("a=2PL"));
+        assert!(s.contains("b=OPT"));
+        assert!(s.contains('a'), "series points plotted");
+        assert!(s.contains("(y: tps)"));
+        // 20 grid rows + header + axis + labels + legend.
+        assert!(s.lines().count() >= 24);
+    }
+
+    #[test]
+    fn y_extremes_appear_as_axis_labels() {
+        let s = render(&fig(), ChartSize::default());
+        assert!(s.contains("9.000"), "ymax label:\n{s}");
+        assert!(s.contains("0.500"), "ymin label:\n{s}");
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let mut f = fig();
+        for s in &mut f.series {
+            for y in &mut s.ys {
+                *y = f64::NAN;
+            }
+        }
+        let s = render(&f, ChartSize::default());
+        assert!(s.contains("nothing to plot"));
+    }
+
+    #[test]
+    fn flat_series_still_renders() {
+        let mut f = fig();
+        f.series.truncate(1);
+        f.series[0].ys = vec![2.0, 2.0, 2.0, 2.0];
+        let s = render(&f, ChartSize::default());
+        assert!(s.contains('a'));
+    }
+
+    #[test]
+    fn tiny_grid_is_rejected() {
+        let s = render(&fig(), ChartSize { width: 1, height: 1 });
+        assert!(s.contains("nothing to plot"));
+    }
+
+    #[test]
+    fn collisions_marked_with_star() {
+        let f = FigureResult {
+            id: "figY".into(),
+            title: "collide".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            xs: vec![0.0, 1.0],
+            series: vec![
+                Series {
+                    name: "A".into(),
+                    ys: vec![1.0, 2.0],
+                },
+                Series {
+                    name: "B".into(),
+                    ys: vec![1.0, 3.0],
+                },
+            ],
+        };
+        let s = render(&f, ChartSize { width: 16, height: 8 });
+        assert!(s.contains('*'), "colliding first points:\n{s}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Extension experiments beyond the paper's figures: ablations of design
+//! choices the paper fixes (execution pattern, deadlock-resolution policy)
+//! and the buffering future work its footnote 6 defers.
+
+use crate::profile::Profile;
+use crate::runner::Runner;
+use crate::table::{FigureResult, Series};
+use ddbm_config::{Algorithm, Config, ExecPattern};
+use denet::SimDuration;
+
+/// E20: sequential (RPC-style, Non-Stop SQL) vs parallel (Gamma-style)
+/// cohort execution — response time vs think time for 2PL and NO_DC.
+pub fn e20_exec_pattern(runner: &Runner, profile: &Profile) -> FigureResult {
+    let mut series = Vec::new();
+    for algo in [Algorithm::TwoPhaseLocking, Algorithm::NoDataContention] {
+        for pattern in [ExecPattern::Parallel, ExecPattern::Sequential] {
+            let mut configs = Vec::new();
+            for &t in &profile.think_times {
+                let mut c = Config::paper(algo, 8, 8, t);
+                c.workload.exec_pattern = pattern;
+                profile.apply(&mut c);
+                configs.push(c);
+            }
+            let reports = runner.run_all(&configs);
+            let label = match pattern {
+                ExecPattern::Parallel => format!("{algo} parallel"),
+                ExecPattern::Sequential => format!("{algo} sequential"),
+            };
+            series.push(Series {
+                name: label,
+                ys: reports.iter().map(|r| r.mean_response_time).collect(),
+            });
+        }
+    }
+    FigureResult {
+        id: "e20".into(),
+        title: "Sequential (RPC) vs parallel cohort execution, 8 nodes, 8-way".into(),
+        x_label: "mean think time (s)".into(),
+        y_label: "response time (s)".into(),
+        xs: profile.think_times.clone(),
+        series,
+    }
+}
+
+/// The lock-timeout grid used by E21 (seconds).
+pub const E21_TIMEOUTS: [f64; 6] = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0];
+
+/// E21: sensitivity of timeout-resolved 2PL to the timeout value (paper
+/// footnote 2 cites Jenq et al.'s observation that the interval is critical).
+/// Returns (response-time figure, abort-ratio figure); each includes the
+/// detection-based 2PL as a flat reference line.
+pub fn e21_timeout_sensitivity(
+    runner: &Runner,
+    profile: &Profile,
+    think: f64,
+) -> (FigureResult, FigureResult) {
+    let mut configs = Vec::new();
+    for &to in &E21_TIMEOUTS {
+        let mut c = Config::paper(Algorithm::TwoPhaseLockingTimeout, 8, 8, think);
+        c.system.lock_timeout = SimDuration::from_secs_f64(to);
+        profile.apply(&mut c);
+        configs.push(c);
+    }
+    let reports = runner.run_all(&configs);
+    let mut reference = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, think);
+    profile.apply(&mut reference);
+    let base = runner.run(&reference);
+    let xs: Vec<f64> = E21_TIMEOUTS.to_vec();
+    let rt = FigureResult {
+        id: "e21-rt".into(),
+        title: format!("2PL-T response time vs lock timeout (think {think}s)"),
+        x_label: "lock timeout (s)".into(),
+        y_label: "response time (s)".into(),
+        xs: xs.clone(),
+        series: vec![
+            Series {
+                name: "2PL-T".into(),
+                ys: reports.iter().map(|r| r.mean_response_time).collect(),
+            },
+            Series {
+                name: "2PL (detection)".into(),
+                ys: vec![base.mean_response_time; xs.len()],
+            },
+        ],
+    };
+    let aborts = FigureResult {
+        id: "e21-aborts".into(),
+        title: format!("2PL-T abort ratio vs lock timeout (think {think}s)"),
+        x_label: "lock timeout (s)".into(),
+        y_label: "aborts per commit".into(),
+        xs: xs.clone(),
+        series: vec![
+            Series {
+                name: "2PL-T".into(),
+                ys: reports.iter().map(|r| r.abort_ratio).collect(),
+            },
+            Series {
+                name: "2PL (detection)".into(),
+                ys: vec![base.abort_ratio; xs.len()],
+            },
+        ],
+    };
+    (rt, aborts)
+}
+
+/// The buffer capacities swept by E22, as fractions of a node's data.
+pub const E22_FRACTIONS: [f64; 4] = [0.0, 0.125, 0.5, 1.0];
+
+/// E22 (paper footnote 6's future work): does per-node buffering change the
+/// algorithm ordering? Throughput vs buffer capacity for all five paper
+/// algorithms at a contended operating point.
+pub fn e22_buffering(runner: &Runner, profile: &Profile, think: f64) -> FigureResult {
+    // A node stores num_files/num_proc_nodes files of pages_per_file pages.
+    let probe = {
+        let mut c = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, think);
+        profile.apply(&mut c);
+        c
+    };
+    let pages_per_node =
+        probe.database.total_pages() / probe.system.num_proc_nodes as u64;
+    let capacities: Vec<u64> = E22_FRACTIONS
+        .iter()
+        .map(|f| (*f * pages_per_node as f64) as u64)
+        .collect();
+    let mut series = Vec::new();
+    for algo in Algorithm::ALL {
+        let mut configs = Vec::new();
+        for &cap in &capacities {
+            let mut c = Config::paper(algo, 8, 8, think);
+            c.system.buffer_pages = cap;
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        series.push(Series {
+            name: algo.label().to_string(),
+            ys: reports.iter().map(|r| r.throughput).collect(),
+        });
+    }
+    FigureResult {
+        id: "e22".into(),
+        title: format!(
+            "Throughput vs per-node buffer capacity (think {think}s; node data = {pages_per_node} pages)"
+        ),
+        x_label: "buffer capacity (pages)".into(),
+        y_label: "throughput (txn/s)".into(),
+        xs: capacities.iter().map(|c| *c as f64).collect(),
+        series,
+    }
+}
+
+/// E23: wound-wait vs wait-die vs detection-based 2PL — throughput and abort
+/// ratio across the think-time grid.
+pub fn e23_wait_die(runner: &Runner, profile: &Profile) -> (FigureResult, FigureResult) {
+    let algos = [
+        Algorithm::TwoPhaseLocking,
+        Algorithm::WoundWait,
+        Algorithm::WaitDie,
+    ];
+    let mut tput = Vec::new();
+    let mut aborts = Vec::new();
+    for algo in algos {
+        let mut configs = Vec::new();
+        for &t in &profile.think_times {
+            let mut c = Config::paper(algo, 8, 8, t);
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        tput.push(Series {
+            name: algo.label().to_string(),
+            ys: reports.iter().map(|r| r.throughput).collect(),
+        });
+        aborts.push(Series {
+            name: algo.label().to_string(),
+            ys: reports.iter().map(|r| r.abort_ratio).collect(),
+        });
+    }
+    (
+        FigureResult {
+            id: "e23-tput".into(),
+            title: "Deadlock policies: detection vs wound-wait vs wait-die (throughput)".into(),
+            x_label: "mean think time (s)".into(),
+            y_label: "throughput (txn/s)".into(),
+            xs: profile.think_times.clone(),
+            series: tput,
+        },
+        FigureResult {
+            id: "e23-aborts".into(),
+            title: "Deadlock policies: detection vs wound-wait vs wait-die (abort ratio)".into(),
+            x_label: "mean think time (s)".into(),
+            y_label: "aborts per commit".into(),
+            xs: profile.think_times.clone(),
+            series: aborts,
+        },
+    )
+}
+
+/// All extension experiments, in order.
+pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
+    let (e21_rt, e21_ab) = e21_timeout_sensitivity(runner, profile, 1.0);
+    let (e23_tp, e23_ab) = e23_wait_die(runner, profile);
+    let (e24_tp, e24_ab) = e24_barging(runner, profile);
+    vec![
+        e20_exec_pattern(runner, profile),
+        e21_rt,
+        e21_ab,
+        e22_buffering(runner, profile, 1.0),
+        e23_tp,
+        e23_ab,
+        e24_tp,
+        e24_ab,
+    ]
+}
+
+/// E24: strict-FIFO vs barging lock grants for 2PL — the one lock-manager
+/// policy the paper leaves unspecified, and the lever behind 2PL's 8-way
+/// deadlock-abort rate at heavy load.
+pub fn e24_barging(runner: &Runner, profile: &Profile) -> (FigureResult, FigureResult) {
+    let mut tput = Vec::new();
+    let mut aborts = Vec::new();
+    for (label, barging) in [("2PL FIFO", false), ("2PL barging", true)] {
+        let mut configs = Vec::new();
+        for &t in &profile.think_times {
+            let mut c = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, t);
+            c.system.lock_barging = barging;
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        tput.push(Series {
+            name: label.into(),
+            ys: reports.iter().map(|r| r.throughput).collect(),
+        });
+        aborts.push(Series {
+            name: label.into(),
+            ys: reports.iter().map(|r| r.abort_ratio).collect(),
+        });
+    }
+    (
+        FigureResult {
+            id: "e24-tput".into(),
+            title: "2PL lock-grant policy: strict FIFO vs barging (throughput)".into(),
+            x_label: "mean think time (s)".into(),
+            y_label: "throughput (txn/s)".into(),
+            xs: profile.think_times.clone(),
+            series: tput,
+        },
+        FigureResult {
+            id: "e24-aborts".into(),
+            title: "2PL lock-grant policy: strict FIFO vs barging (abort ratio)".into(),
+            x_label: "mean think time (s)".into(),
+            y_label: "aborts per commit".into(),
+            xs: profile.think_times.clone(),
+            series: aborts,
+        },
+    )
+}

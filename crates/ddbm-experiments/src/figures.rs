@@ -1,0 +1,568 @@
+//! One function per paper figure (and per text-only experiment), each
+//! returning a [`FigureResult`].
+//!
+//! The mapping to the paper (see DESIGN.md §5):
+//!
+//! * Figures 2–7 — machine-size scaling (§4.2): 1-node vs 8-node sweeps.
+//! * Figures 8–13 — partitioning at fixed size (§4.3): 1-way vs 8-way.
+//! * Figures 14–17 — overhead sensitivity (§4.4): speedup vs degree.
+//! * E17–E19 — results the paper reports in prose only.
+
+use crate::profile::Profile;
+use crate::runner::Runner;
+use crate::table::{FigureResult, Series};
+use ddbm_config::{Algorithm, Config};
+use ddbm_core::RunReport;
+
+/// The sweep of one machine-size configuration: `reports[a][t]` is the run
+/// of `Algorithm::ALL[a]` at `profile.think_times[t]`.
+fn sweep(
+    runner: &Runner,
+    profile: &Profile,
+    mk: impl Fn(Algorithm, f64) -> Config,
+) -> Vec<Vec<RunReport>> {
+    let mut configs = Vec::new();
+    for algo in Algorithm::ALL {
+        for &t in &profile.think_times {
+            let mut c = mk(algo, t);
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+    }
+    let flat = runner.run_all(&configs);
+    let n = profile.think_times.len();
+    flat.chunks(n).map(|c| c.to_vec()).collect()
+}
+
+fn figure(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    xs: Vec<f64>,
+    series: Vec<Series>,
+) -> FigureResult {
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: x_label.into(),
+        y_label: y_label.into(),
+        xs,
+        series,
+    }
+}
+
+fn series_of(name: impl Into<String>, ys: Vec<f64>) -> Series {
+    Series {
+        name: name.into(),
+        ys,
+    }
+}
+
+// ----------------------------------------------------------------------
+// §4.2 — machine size and parallelism (Figures 2–7)
+// ----------------------------------------------------------------------
+
+fn scaling_sweep(runner: &Runner, profile: &Profile, n: usize) -> Vec<Vec<RunReport>> {
+    sweep(runner, profile, |algo, t| Config::scaling(algo, n, t))
+}
+
+/// Figure 2: throughput vs think time, 1-node and 8-node machines.
+pub fn fig02(runner: &Runner, profile: &Profile) -> FigureResult {
+    let one = scaling_sweep(runner, profile, 1);
+    let eight = scaling_sweep(runner, profile, 8);
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        series.push(series_of(
+            format!("{algo} 1-node"),
+            one[a].iter().map(|r| r.throughput).collect(),
+        ));
+        series.push(series_of(
+            format!("{algo} 8-node"),
+            eight[a].iter().map(|r| r.throughput).collect(),
+        ));
+    }
+    figure(
+        "fig02",
+        "Throughput, 1-node vs 8-node (small DB)",
+        "mean think time (s)",
+        "throughput (txn/s)",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// Figure 3: response time vs think time, 1-node and 8-node machines.
+pub fn fig03(runner: &Runner, profile: &Profile) -> FigureResult {
+    let one = scaling_sweep(runner, profile, 1);
+    let eight = scaling_sweep(runner, profile, 8);
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        series.push(series_of(
+            format!("{algo} 1-node"),
+            one[a].iter().map(|r| r.mean_response_time).collect(),
+        ));
+        series.push(series_of(
+            format!("{algo} 8-node"),
+            eight[a].iter().map(|r| r.mean_response_time).collect(),
+        ));
+    }
+    figure(
+        "fig03",
+        "Response time, 1-node vs 8-node (small DB)",
+        "mean think time (s)",
+        "response time (s)",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// The throughput- and response-speedup figure pair for an `n`-node machine
+/// vs the 1-node machine. `n = 8` gives Figures 4 and 5; `n = 4` gives the
+/// prose results of §4.2 (E17).
+pub fn scaling_speedups(
+    runner: &Runner,
+    profile: &Profile,
+    n: usize,
+) -> (FigureResult, FigureResult) {
+    let one = scaling_sweep(runner, profile, 1);
+    let big = scaling_sweep(runner, profile, n);
+    let mut tput = Vec::new();
+    let mut resp = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        tput.push(series_of(
+            algo.label(),
+            big[a]
+                .iter()
+                .zip(&one[a])
+                .map(|(b, o)| b.throughput_speedup_over(o))
+                .collect(),
+        ));
+        resp.push(series_of(
+            algo.label(),
+            big[a]
+                .iter()
+                .zip(&one[a])
+                .map(|(b, o)| b.response_speedup_over(o))
+                .collect(),
+        ));
+    }
+    let (tid, rid) = if n == 8 {
+        ("fig04".to_string(), "fig05".to_string())
+    } else {
+        (format!("e17-tput-{n}node"), format!("e17-resp-{n}node"))
+    };
+    (
+        figure(
+            &tid,
+            &format!("Throughput speedup, {n}-node over 1-node"),
+            "mean think time (s)",
+            "throughput speedup",
+            profile.think_times.clone(),
+            tput,
+        ),
+        figure(
+            &rid,
+            &format!("Response time speedup, {n}-node over 1-node"),
+            "mean think time (s)",
+            "response time speedup",
+            profile.think_times.clone(),
+            resp,
+        ),
+    )
+}
+
+/// Figure 4: 8-node throughput speedup.
+pub fn fig04(runner: &Runner, profile: &Profile) -> FigureResult {
+    scaling_speedups(runner, profile, 8).0
+}
+
+/// Figure 5: 8-node response-time speedup.
+pub fn fig05(runner: &Runner, profile: &Profile) -> FigureResult {
+    scaling_speedups(runner, profile, 8).1
+}
+
+/// Figure 6: disk utilization vs think time, 1-node and 8-node.
+pub fn fig06(runner: &Runner, profile: &Profile) -> FigureResult {
+    utilization_figure(runner, profile, "fig06", "Disk utilization", |r| {
+        r.disk_utilization
+    })
+}
+
+/// Figure 7: CPU utilization (processing nodes) vs think time.
+pub fn fig07(runner: &Runner, profile: &Profile) -> FigureResult {
+    utilization_figure(runner, profile, "fig07", "CPU utilization", |r| {
+        r.proc_cpu_utilization
+    })
+}
+
+fn utilization_figure(
+    runner: &Runner,
+    profile: &Profile,
+    id: &str,
+    what: &str,
+    get: impl Fn(&RunReport) -> f64,
+) -> FigureResult {
+    let one = scaling_sweep(runner, profile, 1);
+    let eight = scaling_sweep(runner, profile, 8);
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        series.push(series_of(
+            format!("{algo} 1-node"),
+            one[a].iter().map(&get).collect(),
+        ));
+        series.push(series_of(
+            format!("{algo} 8-node"),
+            eight[a].iter().map(&get).collect(),
+        ));
+    }
+    figure(
+        id,
+        &format!("{what}, 1-node vs 8-node (small DB)"),
+        "mean think time (s)",
+        what,
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+// ----------------------------------------------------------------------
+// §4.3 — partitioning at fixed machine size (Figures 8–13)
+// ----------------------------------------------------------------------
+
+fn partitioning_sweep(
+    runner: &Runner,
+    profile: &Profile,
+    degree: usize,
+    large_db: bool,
+) -> Vec<Vec<RunReport>> {
+    sweep(runner, profile, |algo, t| {
+        Config::partitioning(algo, degree, large_db, t)
+    })
+}
+
+/// Figures 8 (large DB) and 9 (small DB): response-time speedup of 8-way
+/// over 1-way partitioning on the 8-node machine.
+pub fn partitioning_speedup(
+    runner: &Runner,
+    profile: &Profile,
+    large_db: bool,
+) -> FigureResult {
+    let one_way = partitioning_sweep(runner, profile, 1, large_db);
+    let eight_way = partitioning_sweep(runner, profile, 8, large_db);
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        series.push(series_of(
+            algo.label(),
+            eight_way[a]
+                .iter()
+                .zip(&one_way[a])
+                .map(|(e, o)| e.response_speedup_over(o))
+                .collect(),
+        ));
+    }
+    let (id, db) = if large_db {
+        ("fig08", "large DB")
+    } else {
+        ("fig09", "small DB")
+    };
+    figure(
+        id,
+        &format!("Response-time speedup of 8-way over 1-way partitioning ({db})"),
+        "mean think time (s)",
+        "response time speedup",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// `fig08`.
+pub fn fig08(runner: &Runner, profile: &Profile) -> FigureResult {
+    partitioning_speedup(runner, profile, true)
+}
+
+/// `fig09`.
+pub fn fig09(runner: &Runner, profile: &Profile) -> FigureResult {
+    partitioning_speedup(runner, profile, false)
+}
+
+/// Figures 10 (8-way) and 11 (1-way): percent response-time degradation of
+/// each real algorithm relative to NO_DC, small DB.
+pub fn degradation(runner: &Runner, profile: &Profile, degree: usize) -> FigureResult {
+    let reports = partitioning_sweep(runner, profile, degree, false);
+    let nodc_idx = Algorithm::ALL
+        .iter()
+        .position(|a| *a == Algorithm::NoDataContention)
+        .expect("NO_DC in ALL");
+    let nodc = reports[nodc_idx].clone();
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        if *algo == Algorithm::NoDataContention {
+            continue;
+        }
+        series.push(series_of(
+            algo.label(),
+            reports[a]
+                .iter()
+                .zip(&nodc)
+                .map(|(r, b)| r.degradation_vs(b))
+                .collect(),
+        ));
+    }
+    let id = if degree == 8 { "fig10" } else { "fig11" };
+    figure(
+        id,
+        &format!("% response-time degradation vs NO_DC, {degree}-way partitioning (small DB)"),
+        "mean think time (s)",
+        "% degradation",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// `fig10`.
+pub fn fig10(runner: &Runner, profile: &Profile) -> FigureResult {
+    degradation(runner, profile, 8)
+}
+
+/// `fig11`.
+pub fn fig11(runner: &Runner, profile: &Profile) -> FigureResult {
+    degradation(runner, profile, 1)
+}
+
+/// Figures 12 (8-way) and 13 (1-way): abort ratio, small DB.
+pub fn abort_ratio(runner: &Runner, profile: &Profile, degree: usize) -> FigureResult {
+    let reports = partitioning_sweep(runner, profile, degree, false);
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        if *algo == Algorithm::NoDataContention {
+            continue;
+        }
+        series.push(series_of(
+            algo.label(),
+            reports[a].iter().map(|r| r.abort_ratio).collect(),
+        ));
+    }
+    let id = if degree == 8 { "fig12" } else { "fig13" };
+    figure(
+        id,
+        &format!("Abort ratio, {degree}-way partitioning (small DB)"),
+        "mean think time (s)",
+        "aborts per commit",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// `fig12`.
+pub fn fig12(runner: &Runner, profile: &Profile) -> FigureResult {
+    abort_ratio(runner, profile, 8)
+}
+
+/// `fig13`.
+pub fn fig13(runner: &Runner, profile: &Profile) -> FigureResult {
+    abort_ratio(runner, profile, 1)
+}
+
+// ----------------------------------------------------------------------
+// §4.4 — system overheads (Figures 14–17, E19)
+// ----------------------------------------------------------------------
+
+/// Response-time speedup as a function of the partitioning degree at a fixed
+/// think time and fixed overhead costs, relative to 1-way partitioning.
+pub fn overhead_speedup(
+    runner: &Runner,
+    profile: &Profile,
+    id: &str,
+    inst_per_startup: u64,
+    inst_per_msg: u64,
+    think: f64,
+) -> FigureResult {
+    let degrees = [1usize, 2, 4, 8];
+    let mut configs = Vec::new();
+    for algo in Algorithm::ALL {
+        for &d in &degrees {
+            let mut c = Config::overheads(algo, d, inst_per_startup, inst_per_msg, think);
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+    }
+    let flat = runner.run_all(&configs);
+    let per_algo: Vec<&[RunReport]> = flat.chunks(degrees.len()).collect();
+    let mut series = Vec::new();
+    for (a, algo) in Algorithm::ALL.iter().enumerate() {
+        let base = &per_algo[a][0]; // 1-way
+        series.push(series_of(
+            algo.label(),
+            per_algo[a]
+                .iter()
+                .map(|r| r.response_speedup_over(base))
+                .collect(),
+        ));
+    }
+    figure(
+        id,
+        &format!(
+            "Response-time speedup vs partitioning degree \
+             (startup={inst_per_startup}, msg={inst_per_msg}, think={think}s)"
+        ),
+        "partitioning degree",
+        "response time speedup vs 1-way",
+        degrees.iter().map(|d| *d as f64).collect(),
+        series,
+    )
+}
+
+/// Figure 14: zero overheads, think time 0.
+pub fn fig14(runner: &Runner, profile: &Profile) -> FigureResult {
+    overhead_speedup(runner, profile, "fig14", 0, 0, 0.0)
+}
+
+/// Figure 15: zero overheads, think time 8 s.
+pub fn fig15(runner: &Runner, profile: &Profile) -> FigureResult {
+    overhead_speedup(runner, profile, "fig15", 0, 0, 8.0)
+}
+
+/// Figure 16: 4K-instruction messages, think time 0.
+pub fn fig16(runner: &Runner, profile: &Profile) -> FigureResult {
+    overhead_speedup(runner, profile, "fig16", 0, 4_000, 0.0)
+}
+
+/// Figure 17: 4K-instruction messages, think time 8 s.
+pub fn fig17(runner: &Runner, profile: &Profile) -> FigureResult {
+    overhead_speedup(runner, profile, "fig17", 0, 4_000, 8.0)
+}
+
+/// E19 (§4.4 prose): 20K-instruction process startup with free messages —
+/// "very close to those of Figures 16 and 17".
+pub fn e19_startup_overhead(
+    runner: &Runner,
+    profile: &Profile,
+    think: f64,
+) -> FigureResult {
+    let id = if think == 0.0 {
+        "e19-think0"
+    } else {
+        "e19-think8"
+    };
+    overhead_speedup(runner, profile, id, 20_000, 0, think)
+}
+
+// ----------------------------------------------------------------------
+// Prose-only experiments
+// ----------------------------------------------------------------------
+
+/// E18 (§4.3 prose): mean 2PL blocking time, 1-way vs 8-way partitioning.
+/// The paper reports the 1-way value ≈1.6× the 8-way value at think = 12 s.
+pub fn e18_blocking_time(runner: &Runner, profile: &Profile) -> FigureResult {
+    let mut series = Vec::new();
+    for degree in [1usize, 8] {
+        let mut configs = Vec::new();
+        for &t in &profile.think_times {
+            let mut c = Config::partitioning(Algorithm::TwoPhaseLocking, degree, false, t);
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        series.push(series_of(
+            format!("2PL {degree}-way"),
+            reports.iter().map(|r| r.mean_blocking_time).collect(),
+        ));
+    }
+    figure(
+        "e18",
+        "Mean 2PL blocking time per episode, 1-way vs 8-way (small DB)",
+        "mean think time (s)",
+        "blocking time (s)",
+        profile.think_times.clone(),
+        series,
+    )
+}
+
+/// Every figure of the paper plus the prose experiments, in order. Shared
+/// sweeps are computed once thanks to the runner's memoization.
+pub fn all_figures(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
+    let (e17_tput, e17_resp) = scaling_speedups(runner, profile, 4);
+    vec![
+        fig02(runner, profile),
+        fig03(runner, profile),
+        fig04(runner, profile),
+        fig05(runner, profile),
+        fig06(runner, profile),
+        fig07(runner, profile),
+        fig08(runner, profile),
+        fig09(runner, profile),
+        fig10(runner, profile),
+        fig11(runner, profile),
+        fig12(runner, profile),
+        fig13(runner, profile),
+        fig14(runner, profile),
+        fig15(runner, profile),
+        fig16(runner, profile),
+        fig17(runner, profile),
+        e17_tput,
+        e17_resp,
+        e18_blocking_time(runner, profile),
+        e19_startup_overhead(runner, profile, 0.0),
+        e19_startup_overhead(runner, profile, 8.0),
+    ]
+}
+
+/// Look up a figure builder by id (`fig02`…`fig17`, `e17`, `e18`, `e19`).
+pub fn by_id(
+    runner: &Runner,
+    profile: &Profile,
+    id: &str,
+) -> Option<Vec<FigureResult>> {
+    let one = |f: FigureResult| Some(vec![f]);
+    match id {
+        "fig02" => one(fig02(runner, profile)),
+        "fig03" => one(fig03(runner, profile)),
+        "fig04" => one(fig04(runner, profile)),
+        "fig05" => one(fig05(runner, profile)),
+        "fig06" => one(fig06(runner, profile)),
+        "fig07" => one(fig07(runner, profile)),
+        "fig08" => one(fig08(runner, profile)),
+        "fig09" => one(fig09(runner, profile)),
+        "fig10" => one(fig10(runner, profile)),
+        "fig11" => one(fig11(runner, profile)),
+        "fig12" => one(fig12(runner, profile)),
+        "fig13" => one(fig13(runner, profile)),
+        "fig14" => one(fig14(runner, profile)),
+        "fig15" => one(fig15(runner, profile)),
+        "fig16" => one(fig16(runner, profile)),
+        "fig17" => one(fig17(runner, profile)),
+        "e17" => {
+            let (a, b) = scaling_speedups(runner, profile, 4);
+            Some(vec![a, b])
+        }
+        "e18" => one(e18_blocking_time(runner, profile)),
+        "e19" => Some(vec![
+            e19_startup_overhead(runner, profile, 0.0),
+            e19_startup_overhead(runner, profile, 8.0),
+        ]),
+        "e20" => one(crate::extensions::e20_exec_pattern(runner, profile)),
+        "e21" => {
+            let (a, b) = crate::extensions::e21_timeout_sensitivity(runner, profile, 1.0);
+            Some(vec![a, b])
+        }
+        "e22" => one(crate::extensions::e22_buffering(runner, profile, 1.0)),
+        "e23" => {
+            let (a, b) = crate::extensions::e23_wait_die(runner, profile);
+            Some(vec![a, b])
+        }
+        "e24" => {
+            let (a, b) = crate::extensions::e24_barging(runner, profile);
+            Some(vec![a, b])
+        }
+        _ => None,
+    }
+}
+
+/// All valid figure ids accepted by [`by_id`]: the paper's artifacts plus
+/// this reproduction's extension experiments (e20–e23).
+pub const FIGURE_IDS: [&str; 24] = [
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "e17", "e18", "e19", "e20", "e21",
+    "e22", "e23", "e24",
+];

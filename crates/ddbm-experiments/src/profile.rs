@@ -1,0 +1,102 @@
+//! Run-length / grid profiles for the experiments.
+
+use ddbm_config::SimControl;
+use denet::SimDuration;
+
+/// How much simulation effort to spend per experiment.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Mean terminal think times (seconds) to sweep — the x-axis of most
+    /// figures. The paper sweeps 0–120 s.
+    pub think_times: Vec<f64>,
+    /// Run-length control applied to every configuration.
+    pub control: SimControl,
+    /// Shrink the workload (fewer terminals, smaller transactions) so debug
+    /// builds can exercise every figure quickly. Never used for real
+    /// reproduction numbers.
+    pub tiny_workload: bool,
+}
+
+impl Profile {
+    /// Apply this profile to a paper configuration.
+    pub fn apply(&self, config: &mut ddbm_config::Config) {
+        config.control = self.control.clone();
+        if self.tiny_workload {
+            config.workload.num_terminals = 32;
+            config.workload.mean_pages_per_file = 2;
+            config.workload.min_pages_per_file = 1;
+            config.workload.max_pages_per_file = 3;
+            // Preserve the small/large DB contrast, scaled down.
+            config.database.pages_per_file = if config.database.pages_per_file >= 1200 {
+                160
+            } else {
+                40
+            };
+        }
+    }
+}
+
+impl Profile {
+    /// The full grid used for EXPERIMENTS.md numbers.
+    pub fn full() -> Profile {
+        Profile {
+            think_times: vec![
+                0.0, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 120.0,
+            ],
+            control: SimControl::default(),
+            tiny_workload: false,
+        }
+    }
+
+    /// A thin grid with short runs, for smoke tests and Criterion benches.
+    pub fn quick() -> Profile {
+        Profile {
+            think_times: vec![0.0, 4.0, 12.0, 48.0, 120.0],
+            control: SimControl::quick(),
+            tiny_workload: false,
+        }
+    }
+
+    /// An even smaller profile for CI-speed checks.
+    pub fn smoke() -> Profile {
+        Profile {
+            think_times: vec![0.0, 12.0],
+            control: SimControl {
+                warmup_commits: 50,
+                measure_commits: 250,
+                max_sim_time: SimDuration::from_secs_f64(4_000.0),
+                ..SimControl::default()
+            },
+            tiny_workload: false,
+        }
+    }
+
+    /// Tiny everything: for unit tests of the figure plumbing only.
+    pub fn test() -> Profile {
+        Profile {
+            think_times: vec![0.0, 8.0],
+            control: SimControl {
+                warmup_commits: 15,
+                measure_commits: 60,
+                max_sim_time: SimDuration::from_secs_f64(3_000.0),
+                ..SimControl::default()
+            },
+            tiny_workload: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_the_paper_range() {
+        let p = Profile::full();
+        assert_eq!(*p.think_times.first().unwrap(), 0.0);
+        assert_eq!(*p.think_times.last().unwrap(), 120.0);
+        assert!(p.think_times.windows(2).all(|w| w[0] < w[1]));
+        assert!(Profile::quick().think_times.len() < p.think_times.len());
+        assert!(Profile::smoke().control.measure_commits < p.control.measure_commits);
+    }
+}

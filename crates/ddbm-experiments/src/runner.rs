@@ -1,0 +1,191 @@
+//! Parallel, memoizing experiment runner.
+//!
+//! Figures share underlying simulation runs (e.g. Figures 2–7 all derive
+//! from the same 1-node/8-node sweeps), so the runner caches every completed
+//! run keyed by its full configuration. Independent configurations fan out
+//! across OS threads with `crossbeam::scope`.
+
+use ddbm_config::Config;
+use ddbm_core::{run_config, RunReport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// See module docs.
+pub struct Runner {
+    cache: Mutex<HashMap<String, RunReport>>,
+    threads: usize,
+    completed: AtomicUsize,
+    /// Print a short progress line per completed simulation.
+    pub verbose: bool,
+}
+
+impl Runner {
+    /// A runner using up to `threads` worker threads (0 = all cores).
+    pub fn new(threads: usize) -> Runner {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads
+        };
+        Runner {
+            cache: Mutex::new(HashMap::new()),
+            threads,
+            completed: AtomicUsize::new(0),
+            verbose: false,
+        }
+    }
+
+    fn key(config: &Config) -> String {
+        serde_json::to_string(config).expect("config serializes")
+    }
+
+    /// Run one configuration (memoized).
+    pub fn run(&self, config: &Config) -> RunReport {
+        let key = Self::key(config);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let report = run_config(config.clone()).expect("config validated by caller");
+        let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.verbose {
+            eprintln!(
+                "  [{n}] {} n={} deg={} think={:>5.1}s  tps={:>7.2} rt={:>7.3}s",
+                config.algorithm,
+                config.system.num_proc_nodes,
+                config.database.declustering_degree,
+                config.workload.think_time_secs,
+                report.throughput,
+                report.mean_response_time,
+            );
+        }
+        self.cache.lock().insert(key, report.clone());
+        report
+    }
+
+    /// Run many configurations in parallel (memoized); results come back in
+    /// input order.
+    pub fn run_all(&self, configs: &[Config]) -> Vec<RunReport> {
+        // Pre-filter cache hits so threads only take real work.
+        let mut results: Vec<Option<RunReport>> = {
+            let cache = self.cache.lock();
+            configs
+                .iter()
+                .map(|c| cache.get(&Self::key(c)).cloned())
+                .collect()
+        };
+        // Deduplicate identical configurations within the batch so each key
+        // runs exactly once; `followers` get a copy of their leader's result.
+        let mut todo: Vec<usize> = Vec::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new(); // (index, leader slot)
+        {
+            let mut seen: HashMap<String, usize> = HashMap::new();
+            for i in 0..configs.len() {
+                if results[i].is_some() {
+                    continue;
+                }
+                match seen.entry(Self::key(&configs[i])) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        followers.push((i, *e.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(todo.len());
+                        todo.push(i);
+                    }
+                }
+            }
+        }
+        if !todo.is_empty() {
+            let slots: Vec<Mutex<Option<RunReport>>> =
+                todo.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..self.threads.min(todo.len()) {
+                    scope.spawn(|_| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= todo.len() {
+                            break;
+                        }
+                        let report = self.run(&configs[todo[k]]);
+                        *slots[k].lock() = Some(report);
+                    });
+                }
+            })
+            .expect("worker panicked");
+            for (i, leader) in followers {
+                results[i] = slots[leader].lock().clone();
+            }
+            for (k, &i) in todo.iter().enumerate() {
+                results[i] = slots[k].lock().take();
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Number of simulations actually executed (not cache hits).
+    pub fn executed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddbm_config::Algorithm;
+
+    fn quick_config(think: f64) -> Config {
+        let mut c = Config::paper(Algorithm::NoDataContention, 8, 8, think);
+        c.workload.num_terminals = 16;
+        c.workload.mean_pages_per_file = 2;
+        c.workload.min_pages_per_file = 1;
+        c.workload.max_pages_per_file = 3;
+        c.database.pages_per_file = 100;
+        c.control.warmup_commits = 10;
+        c.control.measure_commits = 40;
+        c
+    }
+
+    #[test]
+    fn memoizes_identical_configs() {
+        let r = Runner::new(2);
+        let a = r.run(&quick_config(1.0));
+        let b = r.run(&quick_config(1.0));
+        assert_eq!(a.mean_response_time, b.mean_response_time);
+        assert_eq!(r.executed(), 1);
+    }
+
+    #[test]
+    fn run_all_preserves_order_and_caches() {
+        let r = Runner::new(4);
+        let configs = vec![quick_config(0.0), quick_config(2.0), quick_config(0.0)];
+        let reports = r.run_all(&configs);
+        assert_eq!(reports.len(), 3);
+        // Identical configs → identical (cached or deterministic) results.
+        assert_eq!(
+            reports[0].mean_response_time,
+            reports[2].mean_response_time
+        );
+        assert!(r.executed() <= 2, "third run must hit the cache");
+        // And matches a direct run.
+        let direct = r.run(&quick_config(2.0));
+        assert_eq!(direct.mean_response_time, reports[1].mean_response_time);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = Runner::new(1);
+        let parallel = Runner::new(8);
+        let configs: Vec<Config> = [0.0, 1.0, 2.0].iter().map(|t| quick_config(*t)).collect();
+        let a = serial.run_all(&configs);
+        let b = parallel.run_all(&configs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean_response_time, y.mean_response_time);
+            assert_eq!(x.commits, y.commits);
+        }
+    }
+}

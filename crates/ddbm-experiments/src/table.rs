@@ -1,0 +1,155 @@
+//! Figure/table result containers and text rendering.
+//!
+//! Each paper figure is reproduced as a [`FigureResult`]: a set of named
+//! series over a common x-axis, rendered as an aligned text table (one row
+//! per series — the same information the paper plots as curves).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Name.
+    pub name: String,
+    /// y-value for each x in the parent's `xs` (NaN = not applicable).
+    pub ys: Vec<f64>,
+}
+
+/// One reproduced figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Paper artifact id, e.g. "fig02".
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// X label.
+    pub x_label: String,
+    /// Y label.
+    pub y_label: String,
+    /// Xs.
+    pub xs: Vec<f64>,
+    /// Series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// The series named `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = writeln!(out, "y: {}   x: {}", self.y_label, self.x_label);
+        let name_w = self
+            .series
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(self.x_label.len().min(12));
+        let _ = write!(out, "{:<name_w$}", "");
+        for x in &self.xs {
+            let _ = write!(out, " {:>9}", trim_float(*x));
+        }
+        let _ = writeln!(out);
+        for s in &self.series {
+            let _ = write!(out, "{:<name_w$}", s.name);
+            for y in &s.ys {
+                if y.is_nan() {
+                    let _ = write!(out, " {:>9}", "-");
+                } else {
+                    let _ = write!(out, " {:>9}", format_sig(*y));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Format an x tick without trailing zeros.
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Format a y value to a sensible number of significant digits.
+fn format_sig(y: f64) -> String {
+    let a = y.abs();
+    if a >= 100.0 {
+        format!("{y:.1}")
+    } else if a >= 1.0 {
+        format!("{y:.2}")
+    } else {
+        format!("{y:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureResult {
+        FigureResult {
+            id: "fig99".into(),
+            title: "Example".into(),
+            x_label: "think time (s)".into(),
+            y_label: "throughput (tps)".into(),
+            xs: vec![0.0, 4.0, 12.5],
+            series: vec![
+                Series {
+                    name: "2PL".into(),
+                    ys: vec![10.0, 5.5, 0.1234],
+                },
+                Series {
+                    name: "NO_DC".into(),
+                    ys: vec![12.0, f64::NAN, 250.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = fig().to_table();
+        for needle in ["fig99", "2PL", "NO_DC", "10.00", "0.1234", "250.0", "12.5", "-"] {
+            assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = fig();
+        assert!(f.series("2PL").is_some());
+        assert!(f.series("nope").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut f = fig();
+        // serde_json maps NaN to null, which does not deserialize back into
+        // f64 — figures persisted to disk must be NaN-free.
+        f.series[1].ys[1] = 0.0;
+        let s = serde_json::to_string(&f).unwrap();
+        let back: FigureResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.id, f.id);
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.series[0].ys, f.series[0].ys);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(trim_float(8.0), "8");
+        assert_eq!(trim_float(12.5), "12.5");
+        assert_eq!(format_sig(1234.5678), "1234.6");
+        assert_eq!(format_sig(3.71828), "3.72");
+        assert_eq!(format_sig(0.031415), "0.0314");
+    }
+}

@@ -1,0 +1,105 @@
+//! Structural smoke tests: every figure builder runs end-to-end on the tiny
+//! test profile and produces well-formed series.
+
+use ddbm_experiments::{figures, Profile, Runner};
+
+#[test]
+fn all_figures_build_and_are_well_formed() {
+    let runner = Runner::new(0);
+    let profile = Profile::test();
+    let figs = figures::all_figures(&runner, &profile);
+    assert_eq!(figs.len(), 21);
+
+    for fig in &figs {
+        assert!(!fig.series.is_empty(), "{} has no series", fig.id);
+        for s in &fig.series {
+            assert_eq!(
+                s.ys.len(),
+                fig.xs.len(),
+                "{}/{} length mismatch",
+                fig.id,
+                s.name
+            );
+            for (x, y) in fig.xs.iter().zip(&s.ys) {
+                assert!(
+                    y.is_finite(),
+                    "{}/{} at x={x} is not finite: {y}",
+                    fig.id,
+                    s.name
+                );
+            }
+        }
+        // The table renderer must not panic and must include every series.
+        let table = fig.to_table();
+        for s in &fig.series {
+            assert!(table.contains(&s.name), "{} table missing {}", fig.id, s.name);
+        }
+    }
+
+    // Figure-specific shape checks.
+    let by_id = |id: &str| figs.iter().find(|f| f.id == id).unwrap();
+    assert_eq!(by_id("fig02").series.len(), 10, "5 algos × 2 machine sizes");
+    assert_eq!(by_id("fig04").series.len(), 5);
+    assert_eq!(by_id("fig10").series.len(), 4, "NO_DC excluded");
+    assert_eq!(by_id("fig12").series.len(), 4);
+    assert_eq!(by_id("fig14").xs, vec![1.0, 2.0, 4.0, 8.0]);
+    assert_eq!(by_id("e18").series.len(), 2);
+
+    // Speedup sanity: every speedup at degree 1 relative to itself is 1.
+    for id in ["fig14", "fig15", "fig16", "fig17"] {
+        for s in &by_id(id).series {
+            assert!(
+                (s.ys[0] - 1.0).abs() < 1e-9,
+                "{id}/{}: speedup vs self must be 1, got {}",
+                s.name,
+                s.ys[0]
+            );
+        }
+    }
+
+    // NO_DC abort ratio is always zero, hence excluded from fig12/13; the
+    // real algorithms' ratios must be non-negative.
+    for id in ["fig12", "fig13"] {
+        for s in &by_id(id).series {
+            assert!(s.ys.iter().all(|y| *y >= 0.0), "{id}/{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn by_id_covers_every_figure() {
+    let runner = Runner::new(0);
+    let profile = Profile::test();
+    // Only check the mapping exists and rejects junk — reuse cached runs for
+    // one real id.
+    assert!(figures::by_id(&runner, &profile, "nonsense").is_none());
+    assert_eq!(figures::FIGURE_IDS.len(), 24);
+    let f = figures::by_id(&runner, &profile, "fig12").unwrap();
+    assert_eq!(f[0].id, "fig12");
+}
+
+#[test]
+fn extension_experiments_build() {
+    let runner = Runner::new(0);
+    let profile = Profile::test();
+    let figs = ddbm_experiments::extensions::all_extensions(&runner, &profile);
+    assert_eq!(figs.len(), 8);
+    for fig in &figs {
+        assert!(!fig.series.is_empty(), "{} empty", fig.id);
+        for s in &fig.series {
+            assert_eq!(s.ys.len(), fig.xs.len(), "{}/{}", fig.id, s.name);
+            assert!(s.ys.iter().all(|y| y.is_finite()), "{}/{}", fig.id, s.name);
+        }
+    }
+    // e20: sequential must not be faster than parallel at the light point.
+    let e20 = &figs[0];
+    let par = e20.series("NO_DC parallel").unwrap();
+    let seq = e20.series("NO_DC sequential").unwrap();
+    let last = e20.xs.len() - 1;
+    assert!(
+        seq.ys[last] >= par.ys[last],
+        "sequential {} must be no faster than parallel {}",
+        seq.ys[last],
+        par.ys[last]
+    );
+}

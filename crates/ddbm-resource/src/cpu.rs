@@ -1,0 +1,436 @@
+//! The node CPU model (paper §3.4).
+//!
+//! The CPU serves two classes of work:
+//!
+//! * **message work** — protocol processing for sending/receiving messages.
+//!   Served FIFO, one job at a time, at *preemptive priority* over all other
+//!   work ("with message processing being higher priority").
+//! * **ordinary work** — page processing, process startup, update initiation,
+//!   CC request processing. Served **processor sharing**: when `n` jobs are
+//!   present each progresses at `rate / n`.
+//!
+//! The model is driven by the owner: every interaction first calls
+//! [`Cpu::advance`] to apply progress up to the current instant, and after any
+//! state change the owner asks [`Cpu::next_completion`] and schedules a
+//! calendar event for that instant. Because completion instants shift whenever
+//! the job mix changes, events are validated with an epoch counter: an event
+//! carrying a stale epoch is simply ignored.
+
+use denet::{BusyTracker, SimDuration, SimTime, NANOS_PER_SEC};
+use std::collections::VecDeque;
+
+/// Work remaining below this many instructions counts as finished (guards
+/// against floating-point residue; far below one instruction).
+const EPS_INSTR: f64 = 1e-6;
+
+#[derive(Debug)]
+struct Job<T> {
+    tag: T,
+    remaining: f64, // instructions
+}
+
+/// A single-CPU node processor.
+#[derive(Debug)]
+pub struct Cpu<T> {
+    /// Instruction rate, instructions per second.
+    rate: f64,
+    messages: VecDeque<Job<T>>,
+    shared: Vec<Job<T>>,
+    last: SimTime,
+    busy: BusyTracker,
+    /// Bumped on every state change; lets the owner discard stale
+    /// completion events.
+    epoch: u64,
+}
+
+impl<T> Cpu<T> {
+    /// A CPU executing `rate` instructions per second.
+    pub fn new(rate: f64) -> Cpu<T> {
+        assert!(rate > 0.0 && rate.is_finite());
+        Cpu {
+            rate,
+            messages: VecDeque::new(),
+            shared: Vec::new(),
+            last: SimTime::ZERO,
+            busy: BusyTracker::new(SimTime::ZERO),
+            epoch: 0,
+        }
+    }
+
+    /// The current scheduling epoch. An event scheduled for this CPU should
+    /// carry the epoch current at scheduling time and be dropped on arrival
+    /// if it no longer matches.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    #[inline]
+    /// `is_idle`.
+    pub fn is_idle(&self) -> bool {
+        self.messages.is_empty() && self.shared.is_empty()
+    }
+
+    /// Number of jobs currently sharing the processor (excludes messages).
+    #[inline]
+    pub fn shared_len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Number of queued message jobs.
+    #[inline]
+    pub fn message_len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Fraction of time busy since the last utilization reset.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.utilization(now)
+    }
+
+    /// Restart the utilization window (end of warmup).
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.busy.reset(now);
+    }
+
+    /// Apply progress from the last interaction up to `now` and return the
+    /// tags of all jobs that completed, in completion order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<T> {
+        debug_assert!(now >= self.last, "CPU advanced backwards");
+        let mut done = Vec::new();
+        let mut t = self.last; // current position within (last, now]
+        while t < now {
+            if let Some(head) = self.messages.front() {
+                // Message service: head of queue, full rate, preemptive.
+                let need = duration_for(head.remaining, self.rate);
+                if t + need <= now {
+                    t += need;
+                    let job = self.messages.pop_front().expect("head exists");
+                    done.push(job.tag);
+                } else {
+                    // Partial progress. Scheduled completion instants are
+                    // rounded *up* to whole nanoseconds, so an intermediate
+                    // advance can overshoot the true finish point by a
+                    // sub-nanosecond sliver — sweep out anything finished or
+                    // the job would linger forever with ~zero work left.
+                    let served = now.since(t).as_secs_f64() * self.rate;
+                    let head = self.messages.front_mut().expect("head exists");
+                    head.remaining -= served;
+                    if head.remaining <= EPS_INSTR {
+                        let job = self.messages.pop_front().expect("head exists");
+                        done.push(job.tag);
+                    }
+                    t = now;
+                }
+            } else if !self.shared.is_empty() {
+                // Processor sharing: find the earliest finisher at rate/n.
+                let n = self.shared.len() as f64;
+                let min_rem = self
+                    .shared
+                    .iter()
+                    .map(|j| j.remaining)
+                    .fold(f64::INFINITY, f64::min);
+                let need = duration_for(min_rem * n, self.rate);
+                let served = if t + need <= now {
+                    t += need;
+                    min_rem
+                } else {
+                    let s = now.since(t).as_secs_f64() * self.rate / n;
+                    t = now;
+                    s
+                };
+                let mut i = 0;
+                while i < self.shared.len() {
+                    self.shared[i].remaining -= served;
+                    if self.shared[i].remaining <= EPS_INSTR {
+                        done.push(self.shared.remove(i).tag);
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                break; // idle for the rest of the interval
+            }
+        }
+        self.last = now;
+        if self.is_idle() {
+            // The CPU went idle at `t` (the last completion), not at `now`;
+            // charging the gap as busy would inflate utilization.
+            self.busy.set_busy(t, false);
+        } else {
+            self.busy.set_busy(now, true);
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Submit an ordinary (processor-shared) job of `instructions`.
+    /// Zero-instruction jobs complete immediately and are returned.
+    #[must_use = "a zero-cost job completes immediately and must be handled"]
+    pub fn submit_shared(&mut self, now: SimTime, tag: T, instructions: f64) -> Option<T> {
+        debug_assert!(instructions >= 0.0);
+        if instructions <= EPS_INSTR {
+            return Some(tag);
+        }
+        self.sync_clock(now);
+        self.epoch += 1;
+        self.shared.push(Job {
+            tag,
+            remaining: instructions,
+        });
+        self.busy.set_busy(now, true);
+        None
+    }
+
+    /// Submit a message-class job of `instructions` (FIFO, priority).
+    /// Zero-instruction jobs complete immediately and are returned.
+    #[must_use = "a zero-cost job completes immediately and must be handled"]
+    pub fn submit_message(&mut self, now: SimTime, tag: T, instructions: f64) -> Option<T> {
+        debug_assert!(instructions >= 0.0);
+        if instructions <= EPS_INSTR {
+            return Some(tag);
+        }
+        self.sync_clock(now);
+        self.epoch += 1;
+        self.messages.push_back(Job {
+            tag,
+            remaining: instructions,
+        });
+        self.busy.set_busy(now, true);
+        None
+    }
+
+    /// Submissions must not outrun the accounting clock: an idle CPU can
+    /// jump forward (nothing is in flight), a busy one must have been
+    /// advanced to `now` by the caller first.
+    fn sync_clock(&mut self, now: SimTime) {
+        if self.is_idle() {
+            debug_assert!(now >= self.last);
+            self.last = now;
+        } else {
+            debug_assert!(
+                now == self.last,
+                "submit to a busy CPU without advancing it first"
+            );
+        }
+    }
+
+    /// Remove all processor-shared jobs matching `pred` (e.g. the work of an
+    /// aborted cohort) and return their tags. Message jobs are never
+    /// cancelled: protocol processing always runs to completion.
+    pub fn cancel_shared_where(&mut self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.shared.len() {
+            if pred(&self.shared[i].tag) {
+                removed.push(self.shared.remove(i).tag);
+            } else {
+                i += 1;
+            }
+        }
+        if !removed.is_empty() {
+            self.epoch += 1;
+            self.busy.set_busy(self.last, !self.is_idle());
+        }
+        removed
+    }
+
+    /// The instant the next job will complete if no further state changes
+    /// occur, or `None` when idle. Call immediately after `advance`.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        if let Some(head) = self.messages.front() {
+            return Some(self.last + duration_for(head.remaining, self.rate));
+        }
+        if self.shared.is_empty() {
+            return None;
+        }
+        let n = self.shared.len() as f64;
+        let min_rem = self
+            .shared
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        Some(self.last + duration_for(min_rem * n, self.rate))
+    }
+}
+
+/// Time to execute `instructions` at `rate`, rounded *up* to the next
+/// nanosecond so the job is certain to have finished at the returned instant.
+#[inline]
+fn duration_for(instructions: f64, rate: f64) -> SimDuration {
+    let secs = instructions.max(0.0) / rate;
+    SimDuration((secs * NANOS_PER_SEC as f64).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(cpu: &mut Cpu<u32>, upto: SimTime) -> Vec<u32> {
+        // Step through completions exactly as the simulator's event loop does.
+        let mut done = Vec::new();
+        loop {
+            match cpu.next_completion() {
+                Some(t) if t <= upto => done.extend(cpu.advance(t)),
+                _ => break,
+            }
+        }
+        done.extend(cpu.advance(upto));
+        done
+    }
+
+    #[test]
+    fn single_job_runs_at_full_rate() {
+        let mut cpu = Cpu::new(1e6); // 1 MIPS
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 8_000.0).is_none());
+        // 8K instructions at 1 MIPS = 8 ms.
+        assert_eq!(
+            cpu.next_completion(),
+            Some(SimTime::ZERO + SimDuration::from_millis(8))
+        );
+        let done = cpu.advance(SimTime::ZERO + SimDuration::from_millis(8));
+        assert_eq!(done, vec![1]);
+        assert!(cpu.is_idle());
+    }
+
+    #[test]
+    fn zero_cost_jobs_complete_inline() {
+        let mut cpu = Cpu::new(1e6);
+        assert_eq!(cpu.submit_shared(SimTime::ZERO, 7, 0.0), Some(7));
+        assert_eq!(cpu.submit_message(SimTime::ZERO, 8, 0.0), Some(8));
+        assert!(cpu.is_idle());
+    }
+
+    #[test]
+    fn processor_sharing_halves_progress() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
+        assert!(cpu.submit_shared(SimTime::ZERO, 2, 1_000.0).is_none());
+        // Two equal jobs sharing 1 MIPS: both finish at 2 ms.
+        let done = drain(&mut cpu, SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn unequal_ps_jobs_finish_in_remaining_order() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
+        assert!(cpu.submit_shared(SimTime::ZERO, 2, 3_000.0).is_none());
+        // Job 1 needs 1K shared two ways: done at 2 ms. Then job 2 has 2K
+        // left alone: done at 4 ms.
+        let t1 = cpu.next_completion().unwrap();
+        assert_eq!(t1, SimTime(2_000_000));
+        assert_eq!(cpu.advance(t1), vec![1]);
+        let t2 = cpu.next_completion().unwrap();
+        assert_eq!(t2, SimTime(4_000_000));
+        assert_eq!(cpu.advance(t2), vec![2]);
+    }
+
+    #[test]
+    fn messages_preempt_shared_work() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 2_000.0).is_none());
+        // At 1 ms, half done; a 1K message arrives and takes the CPU.
+        assert_eq!(cpu.advance(SimTime(1_000_000)), Vec::<u32>::new());
+        assert!(cpu.submit_message(SimTime(1_000_000), 100, 1_000.0).is_none());
+        // Message completes at 2 ms; shared job then needs its last 1K → 3 ms.
+        let t = cpu.next_completion().unwrap();
+        assert_eq!(t, SimTime(2_000_000));
+        assert_eq!(cpu.advance(t), vec![100]);
+        let t = cpu.next_completion().unwrap();
+        assert_eq!(t, SimTime(3_000_000));
+        assert_eq!(cpu.advance(t), vec![1]);
+    }
+
+    #[test]
+    fn messages_serve_fifo() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_message(SimTime::ZERO, 1, 500.0).is_none());
+        assert!(cpu.submit_message(SimTime::ZERO, 2, 500.0).is_none());
+        assert!(cpu.submit_message(SimTime::ZERO, 3, 500.0).is_none());
+        let done = drain(&mut cpu, SimTime(1_500_000));
+        assert_eq!(done, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn utilization_counts_busy_time_only() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
+        let t = cpu.next_completion().unwrap();
+        cpu.advance(t); // busy for 1 ms
+        cpu.advance(SimTime(4_000_000)); // idle for 3 ms
+        let u = cpu.utilization(SimTime(4_000_000));
+        assert!((u - 0.25).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn utilization_reset_mid_run() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 10_000.0).is_none());
+        cpu.advance(SimTime(5_000_000));
+        cpu.reset_utilization(SimTime(5_000_000));
+        let t = cpu.next_completion().unwrap();
+        assert_eq!(t, SimTime(10_000_000));
+        cpu.advance(t);
+        assert!((cpu.utilization(SimTime(10_000_000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_removes_only_matching_jobs() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
+        assert!(cpu.submit_shared(SimTime::ZERO, 2, 1_000.0).is_none());
+        assert!(cpu.submit_shared(SimTime::ZERO, 3, 1_000.0).is_none());
+        let removed = cpu.cancel_shared_where(|t| *t == 2);
+        assert_eq!(removed, vec![2]);
+        // Remaining two share the CPU from t=0: both done at 2 ms.
+        let done = drain(&mut cpu, SimTime(2_000_000));
+        assert_eq!(done, vec![1, 3]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_change() {
+        let mut cpu = Cpu::new(1e6);
+        let e0 = cpu.epoch();
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
+        let e1 = cpu.epoch();
+        assert!(e1 > e0);
+        let t = cpu.next_completion().unwrap();
+        cpu.advance(t);
+        assert!(cpu.epoch() > e1);
+    }
+
+    #[test]
+    fn work_is_conserved_under_interleaving() {
+        // Total busy time must equal total instructions / rate regardless of
+        // how the work is interleaved.
+        let mut cpu = Cpu::new(2e6);
+        let mut total_instr = 0.0;
+        let mut t = SimTime::ZERO;
+        let mut done = 0usize;
+        for i in 0..20u32 {
+            let instr = 500.0 * (i % 5 + 1) as f64;
+            total_instr += instr;
+            if i % 3 == 0 {
+                done += usize::from(cpu.submit_message(t, i, instr).is_some());
+            } else {
+                done += usize::from(cpu.submit_shared(t, i, instr).is_some());
+            }
+            t += SimDuration::from_micros(137);
+            done += cpu.advance(t).len();
+        }
+        while let Some(next) = cpu.next_completion() {
+            done += cpu.advance(next).len();
+        }
+        assert_eq!(done, 20);
+        let now = cpu.last;
+        let busy = cpu.busy.busy_time(now).as_secs_f64();
+        let expect = total_instr / 2e6;
+        assert!(
+            (busy - expect).abs() < 1e-6,
+            "busy {busy} vs expected {expect}"
+        );
+    }
+}

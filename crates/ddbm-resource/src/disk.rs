@@ -1,0 +1,314 @@
+//! The node disk model (paper §3.4).
+//!
+//! Each node has `NumDisks` disks, each with its own FIFO queue. The resource
+//! manager routes a new request to a uniformly random disk (the caller
+//! supplies the index, keeping RNG ownership outside this crate). Disk writes
+//! have non-preemptive priority over reads so that the post-commit
+//! asynchronous write-back keeps up with demand. Service times are sampled by
+//! the caller (uniform in `[MinDiskTime, MaxDiskTime]`) and attached to the
+//! request at submission.
+
+use denet::{BusyTracker, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug)]
+struct Pending<T> {
+    tag: T,
+    service: SimDuration,
+}
+
+#[derive(Debug)]
+struct InService<T> {
+    tag: T,
+    done_at: SimTime,
+}
+
+/// One disk: an in-service request plus separate read and write FIFO queues.
+#[derive(Debug)]
+pub struct Disk<T> {
+    reads: VecDeque<Pending<T>>,
+    writes: VecDeque<Pending<T>>,
+    current: Option<InService<T>>,
+    busy: BusyTracker,
+}
+
+impl<T> Disk<T> {
+    /// Create a new instance.
+    pub fn new() -> Disk<T> {
+        Disk {
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            current: None,
+            busy: BusyTracker::new(SimTime::ZERO),
+        }
+    }
+
+    /// Submit a request taking `service` time once it reaches the head.
+    pub fn submit(&mut self, now: SimTime, tag: T, is_write: bool, service: SimDuration) {
+        let p = Pending { tag, service };
+        if is_write {
+            self.writes.push_back(p);
+        } else {
+            self.reads.push_back(p);
+        }
+        self.try_start(now);
+    }
+
+    fn try_start(&mut self, now: SimTime) {
+        if self.current.is_some() {
+            return;
+        }
+        // Writes first (priority), then reads; FIFO within each class.
+        let next = self.writes.pop_front().or_else(|| self.reads.pop_front());
+        if let Some(p) = next {
+            self.current = Some(InService {
+                tag: p.tag,
+                done_at: now + p.service,
+            });
+            self.busy.set_busy(now, true);
+        } else {
+            self.busy.set_busy(now, false);
+        }
+    }
+
+    /// Complete any request due by `now` and start the next. Returns the tags
+    /// of completed requests in completion order.
+    pub fn advance(&mut self, now: SimTime) -> Vec<T> {
+        let mut done = Vec::new();
+        while let Some(cur) = &self.current {
+            if cur.done_at > now {
+                break;
+            }
+            let finished = self.current.take().expect("checked");
+            done.push(finished.tag);
+            self.try_start(finished.done_at);
+        }
+        done
+    }
+
+    /// When the in-service request completes, if any.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.current.as_ref().map(|c| c.done_at)
+    }
+
+    /// Queued requests (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Remove queued (not yet started) requests matching `pred`; the
+    /// in-service request always completes. Returns removed tags.
+    pub fn cancel_queued_where(&mut self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut removed = Vec::new();
+        for q in [&mut self.reads, &mut self.writes] {
+            let mut keep = VecDeque::with_capacity(q.len());
+            while let Some(p) = q.pop_front() {
+                if pred(&p.tag) {
+                    removed.push(p.tag);
+                } else {
+                    keep.push_back(p);
+                }
+            }
+            *q = keep;
+        }
+        removed
+    }
+
+    /// `utilization`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.utilization(now)
+    }
+
+    /// `reset_utilization`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.busy.reset(now);
+    }
+}
+
+impl<T> Default for Disk<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The array of disks attached to one node.
+#[derive(Debug)]
+pub struct DiskArray<T> {
+    disks: Vec<Disk<T>>,
+}
+
+impl<T> DiskArray<T> {
+    /// Create a new instance.
+    pub fn new(num_disks: usize) -> DiskArray<T> {
+        assert!(num_disks > 0);
+        DiskArray {
+            disks: (0..num_disks).map(|_| Disk::new()).collect(),
+        }
+    }
+
+    #[inline]
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    #[inline]
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Submit to disk `idx` (caller chooses uniformly at random, per §3.4).
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+        tag: T,
+        is_write: bool,
+        service: SimDuration,
+    ) {
+        self.disks[idx].submit(now, tag, is_write, service);
+    }
+
+    /// Advance every disk; returns all completions in (disk-index, FIFO)
+    /// order, which is deterministic.
+    pub fn advance(&mut self, now: SimTime) -> Vec<T> {
+        let mut done = Vec::new();
+        for d in &mut self.disks {
+            done.extend(d.advance(now));
+        }
+        done
+    }
+
+    /// The earliest in-service completion across all disks.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.disks.iter().filter_map(Disk::next_completion).min()
+    }
+
+    /// `cancel_queued_where`.
+    pub fn cancel_queued_where(&mut self, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut removed = Vec::new();
+        for d in &mut self.disks {
+            removed.extend(d.cancel_queued_where(&pred));
+        }
+        removed
+    }
+
+    /// Mean utilization across the node's disks.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        self.disks.iter().map(|d| d.utilization(now)).sum::<f64>() / self.disks.len() as f64
+    }
+
+    /// `reset_utilization`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        for d in &mut self.disks {
+            d.reset_utilization(now);
+        }
+    }
+
+    /// `total_queue_len`.
+    pub fn total_queue_len(&self) -> usize {
+        self.disks.iter().map(Disk::queue_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn fifo_service_within_class() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10));
+        d.submit(SimTime::ZERO, 2, false, SimDuration::from_millis(10));
+        assert_eq!(d.next_completion(), Some(SimTime(10 * MS)));
+        assert_eq!(d.advance(SimTime(10 * MS)), vec![1]);
+        assert_eq!(d.advance(SimTime(20 * MS)), vec![2]);
+        assert_eq!(d.next_completion(), None);
+    }
+
+    #[test]
+    fn writes_jump_ahead_of_queued_reads() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10)); // starts
+        d.submit(SimTime::ZERO, 2, false, SimDuration::from_millis(10)); // queued read
+        d.submit(SimTime::ZERO, 3, true, SimDuration::from_millis(10)); // queued write
+        // In-service read is not preempted; then the write, then the read.
+        assert_eq!(d.advance(SimTime(30 * MS)), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn multiple_completions_in_one_advance() {
+        let mut d: Disk<u32> = Disk::new();
+        for i in 0..5 {
+            d.submit(SimTime::ZERO, i, false, SimDuration::from_millis(10));
+        }
+        assert_eq!(d.advance(SimTime(50 * MS)), vec![0, 1, 2, 3, 4]);
+        assert!((d.utilization(SimTime(50 * MS)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_with_idle_gap() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(20));
+        d.advance(SimTime(20 * MS));
+        d.submit(SimTime(60 * MS), 2, false, SimDuration::from_millis(20));
+        d.advance(SimTime(80 * MS));
+        let u = d.utilization(SimTime(80 * MS));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn cancel_spares_in_service_request() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10));
+        d.submit(SimTime::ZERO, 2, false, SimDuration::from_millis(10));
+        d.submit(SimTime::ZERO, 3, true, SimDuration::from_millis(10));
+        let removed = d.cancel_queued_where(|t| *t != 1);
+        assert_eq!(removed, vec![2, 3]);
+        assert_eq!(d.advance(SimTime(10 * MS)), vec![1]);
+        assert_eq!(d.next_completion(), None);
+    }
+
+    #[test]
+    fn array_routes_and_reports_min_completion() {
+        let mut a: DiskArray<u32> = DiskArray::new(2);
+        a.submit(SimTime::ZERO, 0, 1, false, SimDuration::from_millis(30));
+        a.submit(SimTime::ZERO, 1, 2, false, SimDuration::from_millis(10));
+        assert_eq!(a.next_completion(), Some(SimTime(10 * MS)));
+        assert_eq!(a.advance(SimTime(10 * MS)), vec![2]);
+        assert_eq!(a.next_completion(), Some(SimTime(30 * MS)));
+        assert_eq!(a.advance(SimTime(30 * MS)), vec![1]);
+    }
+
+    #[test]
+    fn array_mean_utilization() {
+        let mut a: DiskArray<u32> = DiskArray::new(2);
+        a.submit(SimTime::ZERO, 0, 1, false, SimDuration::from_millis(10));
+        a.advance(SimTime(10 * MS));
+        // Disk 0 busy 100%, disk 1 idle → mean 50%.
+        let u = a.mean_utilization(SimTime(10 * MS));
+        assert!((u - 0.5).abs() < 1e-9, "mean utilization {u}");
+    }
+
+    #[test]
+    fn array_reset_utilization() {
+        let mut a: DiskArray<u32> = DiskArray::new(2);
+        a.submit(SimTime::ZERO, 0, 1, false, SimDuration::from_millis(10));
+        a.advance(SimTime(10 * MS));
+        a.reset_utilization(SimTime(10 * MS));
+        assert_eq!(a.mean_utilization(SimTime(20 * MS)), 0.0);
+    }
+
+    #[test]
+    fn queue_lengths() {
+        let mut a: DiskArray<u32> = DiskArray::new(2);
+        for i in 0..6 {
+            a.submit(SimTime::ZERO, 0, i, i % 2 == 0, SimDuration::from_millis(10));
+        }
+        // One in service, five queued on disk 0.
+        assert_eq!(a.total_queue_len(), 5);
+    }
+}

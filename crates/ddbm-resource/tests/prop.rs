@@ -1,0 +1,134 @@
+//! Property-based tests for the CPU and disk models.
+
+use ddbm_resource::{Cpu, DiskArray};
+use denet::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// A randomized submission schedule: (gap to next action in µs, job kind).
+#[derive(Debug, Clone)]
+enum Action {
+    Shared(f64),
+    Message(f64),
+    Idle,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1f64..20_000.0).prop_map(Action::Shared),
+        (1f64..5_000.0).prop_map(Action::Message),
+        Just(Action::Idle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every submitted CPU job completes exactly once, and total busy time
+    /// equals total submitted work divided by the rate (work conservation),
+    /// under arbitrary interleavings of submissions and idle gaps.
+    #[test]
+    fn cpu_conserves_work(
+        actions in prop::collection::vec((1u64..5_000, action_strategy()), 1..120),
+        rate in prop_oneof![Just(1e6f64), Just(1e7f64)],
+    ) {
+        let mut cpu: Cpu<usize> = Cpu::new(rate);
+        let mut now = SimTime::ZERO;
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        let mut total_work = 0.0f64;
+        for (i, (gap_us, action)) in actions.iter().enumerate() {
+            now += SimDuration::from_micros(*gap_us);
+            completed += cpu.advance(now).len();
+            match action {
+                Action::Shared(instr) => {
+                    total_work += instr;
+                    submitted += 1;
+                    completed += usize::from(cpu.submit_shared(now, i, *instr).is_some());
+                }
+                Action::Message(instr) => {
+                    total_work += instr;
+                    submitted += 1;
+                    completed += usize::from(cpu.submit_message(now, i, *instr).is_some());
+                }
+                Action::Idle => {}
+            }
+        }
+        // Drain.
+        let mut guard = 0;
+        while let Some(t) = cpu.next_completion() {
+            completed += cpu.advance(t).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+            now = now.max(t);
+        }
+        prop_assert_eq!(completed, submitted, "every job completes exactly once");
+        prop_assert!(cpu.is_idle());
+        // Busy time == work / rate (each partial ns rounding can lose at most
+        // one nanosecond per completion).
+        let busy = cpu.utilization(now) * now.as_secs_f64().max(f64::MIN_POSITIVE);
+        let expect = total_work / rate;
+        prop_assert!(
+            (busy - expect).abs() < 1e-5 + 1e-6 * expect,
+            "busy {busy} vs expected {expect}"
+        );
+    }
+
+    /// Disk arrays complete every request exactly once; on a single disk,
+    /// total busy time equals the sum of service times.
+    #[test]
+    fn disks_complete_everything(
+        reqs in prop::collection::vec((1u64..50_000, any::<bool>(), 1u64..40), 1..100),
+        num_disks in 1usize..4,
+    ) {
+        let mut disks: DiskArray<usize> = DiskArray::new(num_disks);
+        let mut now = SimTime::ZERO;
+        let mut completed = 0usize;
+        let mut total_service = SimDuration::ZERO;
+        for (i, (gap_us, is_write, service_ms)) in reqs.iter().enumerate() {
+            now += SimDuration::from_micros(*gap_us);
+            completed += disks.advance(now).len();
+            let service = SimDuration::from_millis(*service_ms);
+            total_service += service;
+            disks.submit(now, i % num_disks, i, *is_write, service);
+        }
+        let mut guard = 0;
+        while let Some(t) = disks.next_completion() {
+            completed += disks.advance(t).len();
+            now = now.max(t);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert_eq!(completed, reqs.len());
+        if num_disks == 1 {
+            let busy = disks.mean_utilization(now) * now.as_secs_f64();
+            prop_assert!(
+                (busy - total_service.as_secs_f64()).abs() < 1e-9 * (1.0 + busy.abs()) + 1e-9,
+                "single-disk busy time must equal summed service"
+            );
+        }
+    }
+
+    /// Write priority: once the in-service request finishes, all queued
+    /// writes drain before any queued read.
+    #[test]
+    fn writes_always_overtake_queued_reads(
+        kinds in prop::collection::vec(any::<bool>(), 2..40),
+    ) {
+        let mut disks: DiskArray<usize> = DiskArray::new(1);
+        // Submit everything at t=0; the first request enters service.
+        for (i, w) in kinds.iter().enumerate() {
+            disks.submit(SimTime::ZERO, 0, i, *w, SimDuration::from_millis(10));
+        }
+        let done = disks.advance(SimTime(10_000_000_000));
+        prop_assert_eq!(done.len(), kinds.len());
+        // After the head (position 0), all writes precede all reads.
+        let tail = &done[1..];
+        let first_read = tail.iter().position(|i| !kinds[*i]);
+        if let Some(fr) = first_read {
+            prop_assert!(
+                tail[fr..].iter().all(|i| !kinds[*i]),
+                "a write was served after a read: {done:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The event calendar: a priority queue of future events.
+//!
+//! Events scheduled for the same instant are delivered in the order they were
+//! scheduled (FIFO tie-breaking via a monotone sequence number), which makes
+//! simulation runs fully deterministic for a given seed.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// ```
+/// use denet::{EventCalendar, SimTime};
+/// let mut cal = EventCalendar::new();
+/// cal.schedule(SimTime(20), "late");
+/// cal.schedule(SimTime(10), "early");
+/// assert_eq!(cal.pop(), Some((SimTime(10), "early")));
+/// assert_eq!(cal.pop(), Some((SimTime(20), "late")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventCalendar<E> {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire at `time`.
+    ///
+    /// Panics if `time` is in the past — scheduling into the past is always a
+    /// model bug and silently reordering would corrupt causality.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "attempt to schedule an event at {time} before the current clock {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[inline]
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap progress gauge).
+    #[inline]
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(30), 3);
+        cal.schedule(SimTime(10), 1);
+        cal.schedule(SimTime(20), 2);
+        assert_eq!(cal.pop(), Some((SimTime(10), 1)));
+        assert_eq!(cal.pop(), Some((SimTime(20), 2)));
+        assert_eq!(cal.pop(), Some((SimTime(30), 3)));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = EventCalendar::new();
+        for i in 0..100 {
+            cal.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(42), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current clock")]
+    fn scheduling_into_the_past_panics() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(10), ());
+        cal.pop();
+        cal.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(7), ());
+        assert_eq!(cal.peek_time(), Some(SimTime(7)));
+        assert_eq!(cal.now(), SimTime::ZERO);
+        assert_eq!(cal.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(10), "a");
+        let (t, _) = cal.pop().unwrap();
+        cal.schedule(t + crate::SimDuration(5), "b");
+        cal.schedule(t + crate::SimDuration(1), "c");
+        assert_eq!(cal.pop().unwrap().1, "c");
+        assert_eq!(cal.pop().unwrap().1, "b");
+    }
+}

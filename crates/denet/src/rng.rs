@@ -1,0 +1,221 @@
+//! Reproducible random-number streams and the distributions used by the model.
+//!
+//! Each model component draws from its own named stream derived from the
+//! experiment master seed, so adding draws in one component never perturbs
+//! another component's sequence (a standard variance-reduction / debuggability
+//! technique in simulation practice, and how DeNet organized its RNGs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random stream.
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// A stream derived from `master_seed` and a stream name.
+    ///
+    /// The derivation is a fixed FNV-1a style hash so streams are stable
+    /// across runs and platforms.
+    pub fn derive(master_seed: u64, stream: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master_seed.rotate_left(17);
+        for b in stream.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Avalanche the hash so similar names give unrelated seeds.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        SimRng {
+            rng: StdRng::seed_from_u64(h ^ master_seed),
+        }
+    }
+
+    /// Directly seeded stream (tests).
+    pub fn from_seed(seed: u64) -> SimRng {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An exponentially distributed sample with the given mean.
+    ///
+    /// A zero mean yields exactly zero (used to disable think times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF method on U in (0, 1]; 1 - gen_range(0..1) avoids ln(0).
+        let u: f64 = 1.0 - self.rng.gen_range(0.0..1.0);
+        -mean * u.ln()
+    }
+
+    /// A uniform sample in `[lo, hi]` (floating point).
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// True with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_range(0.0..1.0) < p
+        }
+    }
+
+    /// Sample `k` distinct values from `[0, n)` (simple partial
+    /// Fisher–Yates; `k <= n`). Returned in selection order.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.rng.gen_range(0..(n - i));
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Choose an index according to a discrete probability vector.
+    ///
+    /// `probs` need not be normalized; only ratios matter.
+    pub fn weighted_index(&mut self, probs: &[f64]) -> usize {
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "weighted_index needs a positive total weight");
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, p) in probs.iter().enumerate() {
+            if x < *p {
+                return i;
+            }
+            x -= *p;
+        }
+        probs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = SimRng::derive(42, "think");
+        let mut b = SimRng::derive(42, "think");
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = SimRng::derive(42, "think");
+        let mut b = SimRng::derive(42, "disk");
+        let same = (0..64)
+            .filter(|_| a.uniform_u64(0, u64::MAX / 2) == b.uniform_u64(0, u64::MAX / 2))
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SimRng::from_seed(7);
+        let n = 200_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.05,
+            "sample mean {sample_mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut r = SimRng::from_seed(7);
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_and_finite() {
+        let mut r = SimRng::from_seed(99);
+        for _ in 0..10_000 {
+            let x = r.exponential(1.0);
+            assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..10_000 {
+            let x = r.uniform_u64(4, 12);
+            assert!((4..=12).contains(&x));
+            let y = r.uniform_f64(0.01, 0.03);
+            assert!((0.01..=0.03).contains(&y));
+        }
+        assert_eq!(r.uniform_f64(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = SimRng::from_seed(3);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut r = SimRng::from_seed(11);
+        for _ in 0..100 {
+            let mut s = r.sample_distinct(20, 8);
+            assert_eq!(s.len(), 8);
+            assert!(s.iter().all(|&x| x < 20));
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8);
+        }
+        // k == n returns a permutation.
+        let mut s = r.sample_distinct(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let mut r = SimRng::from_seed(13);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,543 @@
+//! Statistics collectors for simulation output analysis.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A running tally of scalar observations (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Create a new instance.
+    pub fn new() -> Tally {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration observation, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    #[inline]
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean, or 0.0 when empty (a convenient neutral value for
+    /// the restart-delay heuristic, which uses "average response time so far").
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another tally into this one (parallel collection).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty (end of warmup).
+    pub fn reset(&mut self) {
+        *self = Tally::new();
+    }
+}
+
+/// A time-weighted average of a piecewise-constant signal, e.g. queue length
+/// or a busy/idle indicator (giving utilization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Create a new instance.
+    pub fn new(start: SimTime, initial: f64) -> TimeWeighted {
+        TimeWeighted {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            start,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change);
+        self.weighted_sum += self.value * now.since(self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.value = value;
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    #[inline]
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// The time-average over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / total
+    }
+
+    /// Restart the averaging window at `now`, keeping the current value.
+    pub fn reset(&mut self, now: SimTime) {
+        self.weighted_sum = 0.0;
+        self.last_change = now;
+        self.start = now;
+    }
+}
+
+/// Tracks busy time of a resource (utilization = busy / elapsed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyTracker {
+    busy_since: Option<SimTime>,
+    accumulated: SimDuration,
+    window_start: SimTime,
+}
+
+impl BusyTracker {
+    /// Create a new instance.
+    pub fn new(start: SimTime) -> BusyTracker {
+        BusyTracker {
+            busy_since: None,
+            accumulated: SimDuration::ZERO,
+            window_start: start,
+        }
+    }
+
+    /// Record a busy/idle transition at `now`.
+    pub fn set_busy(&mut self, now: SimTime, busy: bool) {
+        match (self.busy_since, busy) {
+            (None, true) => self.busy_since = Some(now),
+            (Some(since), false) => {
+                self.accumulated += now.since(since);
+                self.busy_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    #[inline]
+    /// True while any work is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Accumulated busy time up to `now`.
+    pub fn busy_time(&self, now: SimTime) -> SimDuration {
+        let mut b = self.accumulated;
+        if let Some(since) = self.busy_since {
+            b += now.since(since);
+        }
+        b
+    }
+
+    /// Fraction of `[window_start, now]` the resource was busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.window_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time(now).as_secs_f64() / elapsed
+    }
+
+    /// Restart the measurement window (end of warmup), preserving busy state.
+    pub fn reset(&mut self, now: SimTime) {
+        self.accumulated = SimDuration::ZERO;
+        self.window_start = now;
+        if self.busy_since.is_some() {
+            self.busy_since = Some(now);
+        }
+    }
+}
+
+/// A monotone event counter with a measurement window, for rates
+/// (e.g. throughput = commits / elapsed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateCounter {
+    count: u64,
+    window_start: SimTime,
+}
+
+impl RateCounter {
+    /// Create a new instance.
+    pub fn new(start: SimTime) -> RateCounter {
+        RateCounter {
+            count: 0,
+            window_start: start,
+        }
+    }
+
+    /// Count one event.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    #[inline]
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per second over the measurement window.
+    pub fn rate(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.window_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / elapsed
+        }
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self, now: SimTime) {
+        self.count = 0;
+        self.window_start = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_mean_and_variance() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic set is 4; sample variance 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn tally_empty_behaviour() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+    }
+
+    #[test]
+    fn tally_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        xs[..37].iter().for_each(|&x| a.record(x));
+        xs[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime(NANOS(10.0)), 2.0); // 0 for 10s
+        tw.set(SimTime(NANOS(30.0)), 0.0); // 2 for 20s
+        let avg = tw.average(SimTime(NANOS(40.0))); // 0 for 10s
+        assert!((avg - 1.0).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn time_weighted_reset() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 5.0);
+        tw.reset(SimTime(NANOS(100.0)));
+        let avg = tw.average(SimTime(NANOS(110.0)));
+        assert!((avg - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_tracker_utilization() {
+        let mut b = BusyTracker::new(SimTime::ZERO);
+        b.set_busy(SimTime(NANOS(2.0)), true);
+        b.set_busy(SimTime(NANOS(6.0)), false);
+        assert!((b.utilization(SimTime(NANOS(8.0))) - 0.5).abs() < 1e-9);
+        // Idempotent transitions.
+        b.set_busy(SimTime(NANOS(8.0)), false);
+        b.set_busy(SimTime(NANOS(8.0)), true);
+        b.set_busy(SimTime(NANOS(9.0)), true);
+        assert!((b.utilization(SimTime(NANOS(10.0))) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_tracker_reset_mid_busy() {
+        let mut b = BusyTracker::new(SimTime::ZERO);
+        b.set_busy(SimTime::ZERO, true);
+        b.reset(SimTime(NANOS(5.0)));
+        assert!((b.utilization(SimTime(NANOS(10.0))) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_counter() {
+        let mut r = RateCounter::new(SimTime::ZERO);
+        for _ in 0..50 {
+            r.incr();
+        }
+        assert!((r.rate(SimTime(NANOS(10.0))) - 5.0).abs() < 1e-9);
+        r.reset(SimTime(NANOS(10.0)));
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.rate(SimTime(NANOS(20.0))), 0.0);
+    }
+
+    #[allow(non_snake_case)]
+    fn NANOS(secs: f64) -> u64 {
+        (secs * 1e9) as u64
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output.
+///
+/// Correlated observations (successive response times share queue state)
+/// make the naive standard error optimistic; the classical remedy is to
+/// group observations into consecutive batches, treat batch means as
+/// approximately independent, and build the confidence interval from their
+/// spread.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Estimator with a fixed batch size (observations per batch).
+    pub fn new(batch_size: u64) -> BatchMeans {
+        assert!(batch_size > 0);
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Completed batches so far.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (NaN with no complete batch).
+    pub fn mean(&self) -> f64 {
+        if self.batch_means.is_empty() {
+            return f64::NAN;
+        }
+        self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean, using the
+    /// Student-t quantile for the batch count. NaN with fewer than two
+    /// complete batches.
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.batch_means.len();
+        if n < 2 {
+            return f64::NAN;
+        }
+        let mean = self.mean();
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        t_quantile_975(n - 1) * (var / n as f64).sqrt()
+    }
+
+    /// Discard everything (end of warmup).
+    pub fn reset(&mut self) {
+        self.current_sum = 0.0;
+        self.current_count = 0;
+        self.batch_means.clear();
+    }
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom
+/// (exact for small df, 1.96 asymptotically).
+fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::NAN
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_and_mean_matches() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..100 {
+            b.record(i as f64);
+        }
+        assert_eq!(b.batches(), 10);
+        assert!((b.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_batch_is_excluded() {
+        let mut b = BatchMeans::new(10);
+        for _ in 0..9 {
+            b.record(5.0);
+        }
+        assert_eq!(b.batches(), 0);
+        assert!(b.mean().is_nan());
+        assert!(b.ci95_half_width().is_nan());
+        b.record(5.0);
+        assert_eq!(b.batches(), 1);
+        assert_eq!(b.mean(), 5.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        // Deterministic pseudo-noise around a mean of 10.
+        let noisy = |k: u64| 10.0 + ((k * 2_654_435_761) % 1_000) as f64 / 500.0 - 1.0;
+        let mut small = BatchMeans::new(20);
+        let mut large = BatchMeans::new(20);
+        for k in 0..200 {
+            small.record(noisy(k));
+        }
+        for k in 0..4_000 {
+            large.record(noisy(k));
+        }
+        let (s, l) = (small.ci95_half_width(), large.ci95_half_width());
+        assert!(s.is_finite() && l.is_finite());
+        assert!(l < s, "more batches must tighten the CI: {l} vs {s}");
+        assert!((large.mean() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_series_has_zero_width() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..50 {
+            b.record(3.0);
+        }
+        assert_eq!(b.ci95_half_width(), 0.0);
+        assert_eq!(b.mean(), 3.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..25 {
+            b.record(1.0);
+        }
+        b.reset();
+        assert_eq!(b.batches(), 0);
+        assert!(b.mean().is_nan());
+    }
+
+    #[test]
+    fn t_quantiles_are_monotone_to_normal() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert_eq!(t_quantile_975(100), 1.96);
+        assert!(t_quantile_975(0).is_nan());
+    }
+}

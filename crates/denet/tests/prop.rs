@@ -1,0 +1,108 @@
+//! Property-based tests for the simulation engine.
+
+use denet::{EventCalendar, SimRng, SimTime, Tally, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// The calendar delivers events in nondecreasing time order and FIFO
+    /// within a timestamp, regardless of insertion order.
+    #[test]
+    fn calendar_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut cal = EventCalendar::new();
+        for (i, t) in times.iter().enumerate() {
+            cal.schedule(SimTime(*t), (*t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, (t, seq))) = cal.pop() {
+            prop_assert_eq!(at.0, t);
+            if let Some((lt, lseq)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(seq > lseq, "FIFO violated within a timestamp");
+                }
+            }
+            last = Some((at, seq));
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    /// Welford tally matches the naive two-pass mean and variance.
+    #[test]
+    fn tally_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((t.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(t.count(), xs.len() as u64);
+    }
+
+    /// Merging two tallies equals tallying the concatenation.
+    #[test]
+    fn tally_merge_is_concatenation(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut a = Tally::new();
+        xs.iter().for_each(|&x| a.record(x));
+        let mut b = Tally::new();
+        ys.iter().for_each(|&y| b.record(y));
+        a.merge(&b);
+        let mut whole = Tally::new();
+        xs.iter().chain(&ys).for_each(|&x| whole.record(x));
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+    }
+
+    /// Time-weighted average equals the hand-computed piecewise integral.
+    #[test]
+    fn time_weighted_matches_integral(
+        steps in prop::collection::vec((1u64..1_000_000, 0f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut now = 0u64;
+        let mut integral = 0.0;
+        let mut value = 0.0;
+        for (dt, v) in &steps {
+            integral += value * (*dt as f64 / 1e9);
+            now += dt;
+            tw.set(SimTime(now), *v);
+            value = *v;
+        }
+        // Extend one more step so the last value contributes.
+        integral += value * 1.0;
+        now += 1_000_000_000;
+        let avg = tw.average(SimTime(now));
+        let expect = integral / (now as f64 / 1e9);
+        prop_assert!((avg - expect).abs() < 1e-9 + 1e-9 * expect.abs(),
+            "avg {avg} expect {expect}");
+    }
+
+    /// Distinct sampling returns exactly k distinct in-range values.
+    #[test]
+    fn sample_distinct_properties(seed in any::<u64>(), n in 1usize..500, k_frac in 0f64..=1.0) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = SimRng::from_seed(seed);
+        let mut s = rng.sample_distinct(n, k);
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|&x| x < n));
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), k);
+    }
+
+    /// Exponential samples are nonnegative and finite for any mean.
+    #[test]
+    fn exponential_is_well_behaved(seed in any::<u64>(), mean in 0f64..1e4) {
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..100 {
+            let x = rng.exponential(mean);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

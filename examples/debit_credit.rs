@@ -1,0 +1,58 @@
+//! A Debit-Credit-flavoured workload on the simulated machine.
+//!
+//! The paper motivates shared-nothing database machines with banking-style
+//! transaction processing (Non-Stop SQL's linear Debit Credit scaling;
+//! §1). This example models a small-transaction OLTP workload — short
+//! transactions touching a couple of pages in one or two partitions — and
+//! shows inter-transaction parallelism scaling throughput with machine
+//! size, Tandem-style, even without intra-transaction parallelism.
+//!
+//! ```text
+//! cargo run --release --example debit_credit
+//! ```
+
+use ddbm::config::{Algorithm, Config, ExecPattern};
+use ddbm::core::run_config;
+
+/// A short-transaction workload: ~2 pages read per accessed partition, one
+/// partition per relation group touched, high update fraction.
+fn debit_credit_config(nodes: usize, think: f64) -> Config {
+    let mut config = Config::scaling(Algorithm::TwoPhaseLocking, nodes, think);
+    config.workload.mean_pages_per_file = 2;
+    config.workload.min_pages_per_file = 1;
+    config.workload.max_pages_per_file = 3;
+    config.workload.write_prob = 0.9; // debits and credits update what they read
+    config.workload.exec_pattern = ExecPattern::Sequential; // RPC-style, as in Non-Stop SQL
+    config.database.pages_per_file = 1_200; // large bank: light data contention
+    config.control.warmup_commits = 300;
+    config.control.measure_commits = 2_000;
+    config
+}
+
+fn main() {
+    println!("Debit-Credit-style workload, sequential (RPC) execution, 2PL\n");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>12}",
+        "nodes", "txn/s", "resp (ms)", "disk util", "scaleup"
+    );
+    let think = 1.0;
+    let mut base_tps = None;
+    for nodes in [1usize, 2, 4, 8] {
+        let r = run_config(debit_credit_config(nodes, think)).expect("valid config");
+        let base = *base_tps.get_or_insert(r.throughput);
+        println!(
+            "{:>6} {:>12.2} {:>14.1} {:>11.1}% {:>11.2}x",
+            nodes,
+            r.throughput,
+            1_000.0 * r.mean_response_time,
+            100.0 * r.disk_utilization,
+            r.throughput / base,
+        );
+    }
+    println!(
+        "\nWith short transactions the 128 terminals saturate the small \
+         machines; adding nodes raises throughput until the terminals, not \
+         the machine, become the limit (cf. the Tandem Debit Credit \
+         measurements cited in §1 of the paper)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate the paper's 8-node database machine once per
+//! concurrency control algorithm and print a comparison table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ddbm::config::{Algorithm, Config};
+use ddbm::core::run_config;
+
+fn main() {
+    // The paper's Table 4 settings: 8 processing nodes, the database
+    // declustered 8 ways, 300-page files (the high-contention database),
+    // and a 4-second mean think time for a healthy load.
+    let think_time = 4.0;
+    println!("8-node machine, 8-way declustering, think time {think_time} s\n");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "algo", "txn/s", "resp (s)", "abort/commit", "disk util", "cpu util"
+    );
+    for algo in Algorithm::ALL {
+        let mut config = Config::paper(algo, 8, 8, think_time);
+        // Shorten the run so the example finishes in a few seconds.
+        config.control.warmup_commits = 200;
+        config.control.measure_commits = 1_000;
+        let r = run_config(config).expect("valid configuration");
+        println!(
+            "{:<6} {:>10.2} {:>12.3} {:>12.3} {:>9.1}% {:>9.1}%",
+            algo.label(),
+            r.throughput,
+            r.mean_response_time,
+            r.abort_ratio,
+            100.0 * r.disk_utilization,
+            100.0 * r.proc_cpu_utilization,
+        );
+    }
+    println!(
+        "\nExpected under contention (paper §4): NO_DC on top, the blocking \
+         pair (2PL, BTO) above the abort pair (WW, OPT); see EXPERIMENTS.md \
+         D1 for the within-pair 2PL/BTO margin."
+    );
+}

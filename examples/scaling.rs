@@ -1,0 +1,52 @@
+//! Machine-size scaling study (paper §4.2): grow the machine from 1 to 8
+//! processing nodes, declustering the data across all of them, and measure
+//! throughput and response-time speedups at several loads.
+//!
+//! Reproduces the striking mid-load result of Figure 5: the 8-node
+//! response-time speedup far exceeds 8 at intermediate think times, because
+//! the bigger machine gains both from extra capacity *and* from
+//! intra-transaction parallelism in a region where queueing delays are
+//! non-linear in utilization.
+//!
+//! ```text
+//! cargo run --release --example scaling
+//! ```
+
+use ddbm::config::{Algorithm, Config};
+use ddbm::core::{run_config, RunReport};
+
+fn run_point(algo: Algorithm, nodes: usize, think: f64) -> RunReport {
+    let mut config = Config::scaling(algo, nodes, think);
+    config.control.warmup_commits = 200;
+    config.control.measure_commits = 1_200;
+    run_config(config).expect("valid config")
+}
+
+fn main() {
+    let algo = Algorithm::TwoPhaseLocking;
+    println!("2PL, small database, 128 terminals; speedups are 8-node vs 1-node\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "think (s)", "tps(1)", "tps(8)", "rt(1) s", "rt(8) s", "tput speedup", "resp speedup"
+    );
+    for think in [0.0, 2.0, 8.0, 16.0, 32.0, 64.0, 120.0] {
+        let one = run_point(algo, 1, think);
+        let eight = run_point(algo, 8, think);
+        println!(
+            "{:>9} {:>12.2} {:>12.2} {:>12.3} {:>12.3} {:>13.2}x {:>13.2}x",
+            think,
+            one.throughput,
+            eight.throughput,
+            one.mean_response_time,
+            eight.mean_response_time,
+            eight.throughput_speedup_over(&one),
+            eight.response_speedup_over(&one),
+        );
+    }
+    println!(
+        "\nExpected shape (paper Figures 4–5): throughput speedup ≈ 8 under \
+         heavy load falling toward 1 when idle; response-time speedup ≈ 6.5 \
+         at the busy end, peaking far above 8 at intermediate loads, and \
+         settling near 5.3 when idle (the longest-cohort limit, 64/12)."
+    );
+}

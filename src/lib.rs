@@ -1,0 +1,38 @@
+//! # ddbm — Parallelism and Concurrency Control in Distributed Database Machines
+//!
+//! A from-scratch Rust reproduction of Carey & Livny, *"Parallelism and
+//! Concurrency Control Performance in Distributed Database Machines"*,
+//! Proc. ACM SIGMOD 1989 (UW–Madison CS TR #831).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`config`] — model parameters (the paper's Tables 1–4) and presets.
+//! * [`sim`] — the `denet` discrete-event engine (calendar, RNG, statistics).
+//! * [`resource`] — node CPU (processor sharing + priority messages) and disks.
+//! * [`cc`] — the concurrency control algorithms: 2PL, WW, BTO, OPT, NO_DC.
+//! * [`core`] — the simulator: workload source, transaction manager, 2PC.
+//! * [`experiments`] — builders regenerating every figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ddbm::config::{Algorithm, Config};
+//! use ddbm::core::run_config;
+//!
+//! let mut config = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, 12.0);
+//! config.control.warmup_commits = 20;   // short demo run
+//! config.control.measure_commits = 100;
+//! let report = run_config(config).unwrap();
+//! println!("throughput: {:.2} txn/s", report.throughput);
+//! assert!(report.commits >= 100);
+//! ```
+
+pub use ddbm_cc as cc;
+pub use ddbm_config as config;
+pub use ddbm_core as core;
+pub use ddbm_experiments as experiments;
+pub use ddbm_resource as resource;
+pub use denet as sim;
+
+/// The workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
