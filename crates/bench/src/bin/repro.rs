@@ -140,7 +140,9 @@ fn main() {
         runner.executed(),
         t0.elapsed(),
         if args.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0)
         } else {
             args.threads
         },

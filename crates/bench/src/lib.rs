@@ -20,9 +20,18 @@ pub fn figure_bench_configs() -> Vec<(&'static str, Config)> {
     let mut out: Vec<(&'static str, Config)> = Vec::new();
     // Figures 2–7: the 1-node vs 8-node scaling sweeps (2PL shown; the
     // sweep covers all algorithms identically).
-    out.push(("fig02_throughput_1node", bench_config(TwoPhaseLocking, 1, 1, 4.0)));
-    out.push(("fig03_response_8node", bench_config(TwoPhaseLocking, 8, 8, 4.0)));
-    out.push(("fig04_tput_speedup", bench_config(BasicTimestampOrdering, 8, 8, 4.0)));
+    out.push((
+        "fig02_throughput_1node",
+        bench_config(TwoPhaseLocking, 1, 1, 4.0),
+    ));
+    out.push((
+        "fig03_response_8node",
+        bench_config(TwoPhaseLocking, 8, 8, 4.0),
+    ));
+    out.push((
+        "fig04_tput_speedup",
+        bench_config(BasicTimestampOrdering, 8, 8, 4.0),
+    ));
     out.push(("fig05_resp_speedup", bench_config(WoundWait, 8, 8, 4.0)));
     out.push(("fig06_disk_util", bench_config(NoDataContention, 8, 8, 4.0)));
     out.push(("fig07_cpu_util", bench_config(NoDataContention, 1, 1, 4.0)));
@@ -32,9 +41,18 @@ pub fn figure_bench_configs() -> Vec<(&'static str, Config)> {
         c.database = ddbm_config::DatabaseParams::large(8);
         c
     }));
-    out.push(("fig09_partitioning_smalldb", bench_config(TwoPhaseLocking, 8, 1, 8.0)));
-    out.push(("fig10_degradation_8way", bench_config(Optimistic, 8, 8, 8.0)));
-    out.push(("fig11_degradation_1way", bench_config(Optimistic, 8, 1, 8.0)));
+    out.push((
+        "fig09_partitioning_smalldb",
+        bench_config(TwoPhaseLocking, 8, 1, 8.0),
+    ));
+    out.push((
+        "fig10_degradation_8way",
+        bench_config(Optimistic, 8, 8, 8.0),
+    ));
+    out.push((
+        "fig11_degradation_1way",
+        bench_config(Optimistic, 8, 1, 8.0),
+    ));
     out.push(("fig12_aborts_8way", bench_config(WoundWait, 8, 8, 0.0)));
     out.push(("fig13_aborts_1way", bench_config(WoundWait, 8, 1, 0.0)));
     // Figures 14–17: overheads.
@@ -63,8 +81,14 @@ pub fn figure_bench_configs() -> Vec<(&'static str, Config)> {
         c
     }));
     // Prose experiments.
-    out.push(("e17_4node_scaling", bench_config(TwoPhaseLocking, 4, 4, 4.0)));
-    out.push(("e18_blocking_time", bench_config(TwoPhaseLocking, 8, 1, 12.0)));
+    out.push((
+        "e17_4node_scaling",
+        bench_config(TwoPhaseLocking, 4, 4, 4.0),
+    ));
+    out.push((
+        "e18_blocking_time",
+        bench_config(TwoPhaseLocking, 8, 1, 12.0),
+    ));
     out.push(("e19_startup20k", {
         let mut c = bench_config(BasicTimestampOrdering, 8, 8, 8.0);
         c.system.inst_per_startup = 20_000;
@@ -98,7 +122,11 @@ mod tests {
     #[test]
     fn every_figure_has_a_bench_config() {
         let configs = figure_bench_configs();
-        assert_eq!(configs.len(), 23, "16 figures + 3 prose + 4 extension experiments");
+        assert_eq!(
+            configs.len(),
+            23,
+            "16 figures + 3 prose + 4 extension experiments"
+        );
         for (id, c) in configs {
             c.validate().unwrap_or_else(|e| panic!("{id}: {e}"));
         }

@@ -21,7 +21,7 @@
 use crate::common::{AccessResponse, ReleaseResponse, Ts, TxnMeta};
 use crate::manager::CcManager;
 use ddbm_config::{Algorithm, PageId, TxnId};
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 #[derive(Debug, Default)]
 struct PageState {
@@ -37,17 +37,16 @@ impl PageState {
     fn min_pending_below(&self, ts: Ts) -> bool {
         self.pending_writes.iter().any(|(w, _)| *w < ts)
     }
-
 }
 
 /// See module docs.
 #[derive(Debug, Default)]
 pub struct BasicTimestampOrdering {
-    pages: HashMap<PageId, PageState>,
+    pages: FxHashMap<PageId, PageState>,
     /// Pages each transaction has pending writes on, with the write ts.
-    txn_writes: HashMap<TxnId, Vec<(PageId, Ts)>>,
+    txn_writes: FxHashMap<TxnId, Vec<(PageId, Ts)>>,
     /// Pages each transaction has a blocked read on.
-    txn_blocked: HashMap<TxnId, Vec<PageId>>,
+    txn_blocked: FxHashMap<TxnId, Vec<PageId>>,
 }
 
 impl BasicTimestampOrdering {
@@ -114,11 +113,7 @@ impl BasicTimestampOrdering {
     }
 }
 
-fn remove_blocked_entry(
-    txn_blocked: &mut HashMap<TxnId, Vec<PageId>>,
-    txn: TxnId,
-    page: PageId,
-) {
+fn remove_blocked_entry(txn_blocked: &mut FxHashMap<TxnId, Vec<PageId>>, txn: TxnId, page: PageId) {
     if let Some(v) = txn_blocked.get_mut(&txn) {
         v.retain(|p| *p != page);
         if v.is_empty() {
@@ -142,14 +137,9 @@ impl CcManager for BasicTimestampOrdering {
                 // it cannot block any reader).
                 return AccessResponse::granted();
             }
-            let pos = state
-                .pending_writes
-                .partition_point(|(w, _)| *w < ts);
+            let pos = state.pending_writes.partition_point(|(w, _)| *w < ts);
             state.pending_writes.insert(pos, (ts, txn.id));
-            self.txn_writes
-                .entry(txn.id)
-                .or_default()
-                .push((page, ts));
+            self.txn_writes.entry(txn.id).or_default().push((page, ts));
             AccessResponse::granted()
         } else {
             if ts < state.wts {
@@ -208,9 +198,18 @@ mod tests {
     #[test]
     fn in_order_reads_and_writes_granted() {
         let mut m = BasicTimestampOrdering::new();
-        assert_eq!(m.request_access(&meta_ts(1, 10), page(1), false).reply, AccessReply::Granted);
-        assert_eq!(m.request_access(&meta_ts(2, 20), page(1), true).reply, AccessReply::Granted);
-        assert_eq!(m.request_access(&meta_ts(3, 30), page(2), false).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta_ts(1, 10), page(1), false).reply,
+            AccessReply::Granted
+        );
+        assert_eq!(
+            m.request_access(&meta_ts(2, 20), page(1), true).reply,
+            AccessReply::Granted
+        );
+        assert_eq!(
+            m.request_access(&meta_ts(3, 30), page(2), false).reply,
+            AccessReply::Granted
+        );
     }
 
     #[test]
@@ -235,7 +234,7 @@ mod tests {
         let mut m = BasicTimestampOrdering::new();
         m.request_access(&meta_ts(3, 30), page(1), true);
         m.commit(TxnId(3)); // wts = 30
-        // An older write (no read in between) is granted but never installed.
+                            // An older write (no read in between) is granted but never installed.
         let r = m.request_access(&meta_ts(1, 10), page(1), true);
         assert_eq!(r.reply, AccessReply::Granted);
         m.commit(TxnId(1));
@@ -268,7 +267,10 @@ mod tests {
     fn abort_of_pending_write_unblocks_reader() {
         let mut m = BasicTimestampOrdering::new();
         m.request_access(&meta_ts(1, 10), page(1), true);
-        assert_eq!(m.request_access(&meta_ts(2, 20), page(1), false).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta_ts(2, 20), page(1), false).reply,
+            AccessReply::Blocked
+        );
         let rel = m.abort(TxnId(1));
         // Write discarded, wts unchanged → read granted.
         assert_eq!(rel.granted, vec![(TxnId(2), page(1))]);
@@ -279,8 +281,11 @@ mod tests {
         let mut m = BasicTimestampOrdering::new();
         m.request_access(&meta_ts(1, 10), page(1), true); // pending @10
         m.request_access(&meta_ts(3, 30), page(1), true); // pending @30
-        // Read @20 blocks on the @10 write only.
-        assert_eq!(m.request_access(&meta_ts(2, 20), page(1), false).reply, AccessReply::Blocked);
+                                                          // Read @20 blocks on the @10 write only.
+        assert_eq!(
+            m.request_access(&meta_ts(2, 20), page(1), false).reply,
+            AccessReply::Blocked
+        );
         // @30 commits first: wts=30 > 20 — the blocked read can never
         // succeed, so it is rejected immediately.
         let rel = m.commit(TxnId(3));
@@ -309,7 +314,10 @@ mod tests {
         m.request_access(&meta_ts(1, 10), page(1), true);
         m.request_access(&meta_ts(2, 20), page(1), true);
         // A read @25 must block on the pending writes @10 and @20 but not @30.
-        assert_eq!(m.request_access(&meta_ts(4, 25), page(1), false).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta_ts(4, 25), page(1), false).reply,
+            AccessReply::Blocked
+        );
         m.commit(TxnId(1));
         // @20 still pending.
         m.request_access(&meta_ts(5, 26), page(1), false);
@@ -325,16 +333,25 @@ mod tests {
     fn restarted_txn_with_new_ts_succeeds() {
         let mut m = BasicTimestampOrdering::new();
         m.request_access(&meta_ts(2, 20), page(1), false); // rts = 20
-        // T1 (run ts 10) writes → rejected; it aborts and restarts @ ts 40.
-        assert_eq!(m.request_access(&meta_ts(1, 10), page(1), true).reply, AccessReply::Rejected);
+                                                           // T1 (run ts 10) writes → rejected; it aborts and restarts @ ts 40.
+        assert_eq!(
+            m.request_access(&meta_ts(1, 10), page(1), true).reply,
+            AccessReply::Rejected
+        );
         m.abort(TxnId(1));
-        assert_eq!(m.request_access(&meta_ts(1, 40), page(1), true).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta_ts(1, 40), page(1), true).reply,
+            AccessReply::Granted
+        );
     }
 
     #[test]
     fn reads_of_distinct_pages_do_not_interact() {
         let mut m = BasicTimestampOrdering::new();
         m.request_access(&meta_ts(1, 10), page(1), true);
-        assert_eq!(m.request_access(&meta_ts(2, 20), page(2), false).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta_ts(2, 20), page(2), false).reply,
+            AccessReply::Granted
+        );
     }
 }

@@ -23,10 +23,7 @@ impl Ts {
 
     /// Create a new instance.
     pub fn new(time: u64, txn: TxnId) -> Ts {
-        Ts {
-            time,
-            txn: txn.0,
-        }
+        Ts { time, txn: txn.0 }
     }
 
     /// True if `self` is older (started earlier) than `other`.
@@ -56,8 +53,7 @@ pub struct TxnMeta {
 }
 
 /// How the CC manager answered an access request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AccessReply {
     /// Access granted; the cohort may proceed with I/O and processing.
     #[default]
@@ -80,7 +76,6 @@ pub struct AccessResponse {
     /// Side effects.
     pub side_effects: ReleaseResponse,
 }
-
 
 impl AccessResponse {
     /// `granted`.

@@ -23,7 +23,7 @@
 use crate::common::{AccessResponse, ReleaseResponse, Ts, TxnMeta};
 use crate::manager::CcManager;
 use ddbm_config::{Algorithm, PageId, TxnId};
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 #[derive(Debug, Default)]
 struct PageState {
@@ -40,13 +40,13 @@ struct PageState {
 /// See module docs.
 #[derive(Debug, Default)]
 pub struct OptimisticCertification {
-    pages: HashMap<PageId, PageState>,
+    pages: FxHashMap<PageId, PageState>,
     /// Uncertified recorded reads: page → version that was read.
-    reads: HashMap<TxnId, Vec<(PageId, Ts)>>,
+    reads: FxHashMap<TxnId, Vec<(PageId, Ts)>>,
     /// Uncertified recorded writes.
-    writes: HashMap<TxnId, Vec<PageId>>,
+    writes: FxHashMap<TxnId, Vec<PageId>>,
     /// Commit timestamps of locally certified transactions.
-    certified: HashMap<TxnId, Ts>,
+    certified: FxHashMap<TxnId, Ts>,
 }
 
 impl OptimisticCertification {
@@ -246,7 +246,7 @@ mod tests {
         m.request_access(&meta(1), page(1), false); // T1 reads v0
         m.request_access(&meta(2), page(1), true); // T2 writes
         assert!(m.certify(&meta(2), cts(50))); // T2 certified, not committed
-        // T1 must fail: a certified write is pending on its read.
+                                               // T1 must fail: a certified write is pending on its read.
         assert!(!m.certify(&meta(1), cts(60)));
     }
 
@@ -284,8 +284,8 @@ mod tests {
         m.request_access(&meta(1), page(1), true);
         assert!(m.certify(&meta(1), cts(50)));
         m.abort(TxnId(1)); // releases the certified write
-        // A reader of version 0 can now certify (no pending certified write,
-        // version unchanged).
+                           // A reader of version 0 can now certify (no pending certified write,
+                           // version unchanged).
         m.request_access(&meta(2), page(1), false);
         assert!(m.certify(&meta(2), cts(60)));
     }
@@ -299,7 +299,7 @@ mod tests {
         m.commit(TxnId(2)); // wts = 200
         assert!(m.certify(&meta(1), cts(100)));
         m.commit(TxnId(1)); // older write must not regress the version
-        // A read now sees version 200: record and certify.
+                            // A read now sees version 200: record and certify.
         m.request_access(&meta(3), page(1), false);
         assert!(m.certify(&meta(3), cts(300)));
     }

@@ -14,7 +14,7 @@ use crate::locktable::{LockOutcome, LockTable};
 use crate::manager::CcManager;
 use crate::waitsfor::resolve_deadlocks;
 use ddbm_config::{Algorithm, PageId, TxnId};
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 /// See module docs.
 #[derive(Debug)]
@@ -22,7 +22,7 @@ pub struct TwoPhaseLocking {
     table: LockTable,
     /// Initial startup timestamps of transactions seen at this node, for
     /// local victim selection. Entries are dropped on commit/abort.
-    initial_ts: HashMap<TxnId, Ts>,
+    initial_ts: FxHashMap<TxnId, Ts>,
     /// When false, blocked requests are never checked for deadlock (the
     /// timeout-based 2PL variant: the transaction manager aborts cohorts
     /// that stay blocked past `SystemParams::lock_timeout`).
@@ -40,7 +40,7 @@ impl TwoPhaseLocking {
     pub fn new() -> TwoPhaseLocking {
         TwoPhaseLocking {
             table: LockTable::new(),
-            initial_ts: HashMap::new(),
+            initial_ts: FxHashMap::default(),
             detection: true,
         }
     }
@@ -76,7 +76,11 @@ impl TwoPhaseLocking {
 impl CcManager for TwoPhaseLocking {
     fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
         self.initial_ts.insert(txn.id, txn.initial_ts);
-        let mode = if write { LockMode::Write } else { LockMode::Read };
+        let mode = if write {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
         match self.table.request(txn.id, page, mode) {
             LockOutcome::Granted => AccessResponse::granted(),
             LockOutcome::Queued if !self.detection => AccessResponse::blocked(),
@@ -84,9 +88,8 @@ impl CcManager for TwoPhaseLocking {
                 // Local deadlock detection on every block (paper §2.2).
                 let edges = self.table.waits_for_edges();
                 let default_ts = Ts::ZERO;
-                let victims = resolve_deadlocks(&edges, |t| {
-                    *self.initial_ts.get(&t).unwrap_or(&default_ts)
-                });
+                let victims =
+                    resolve_deadlocks(&edges, |t| *self.initial_ts.get(&t).unwrap_or(&default_ts));
                 if victims.contains(&txn.id) {
                     // The requester itself dies: withdraw its fresh wait so
                     // the table holds no dangling request while the abort
@@ -154,8 +157,14 @@ mod tests {
     #[test]
     fn readers_share_writers_block() {
         let mut m = TwoPhaseLocking::new();
-        assert_eq!(m.request_access(&meta(1), page(1), false).reply, AccessReply::Granted);
-        assert_eq!(m.request_access(&meta(2), page(1), false).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta(1), page(1), false).reply,
+            AccessReply::Granted
+        );
+        assert_eq!(
+            m.request_access(&meta(2), page(1), false).reply,
+            AccessReply::Granted
+        );
         let r = m.request_access(&meta(3), page(1), true);
         assert_eq!(r.reply, AccessReply::Blocked);
         assert!(r.must_abort().is_empty());
@@ -165,7 +174,10 @@ mod tests {
     fn commit_releases_and_grants_waiters() {
         let mut m = TwoPhaseLocking::new();
         m.request_access(&meta(1), page(1), true);
-        assert_eq!(m.request_access(&meta(2), page(1), false).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(2), page(1), false).reply,
+            AccessReply::Blocked
+        );
         let rel = m.commit(TxnId(1));
         assert_eq!(rel.granted, vec![(TxnId(2), page(1))]);
         assert!(rel.must_abort.is_empty());
@@ -175,8 +187,14 @@ mod tests {
     fn abort_releases_waits_too() {
         let mut m = TwoPhaseLocking::new();
         m.request_access(&meta(1), page(1), true);
-        assert_eq!(m.request_access(&meta(2), page(1), true).reply, AccessReply::Blocked);
-        assert_eq!(m.request_access(&meta(3), page(1), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(2), page(1), true).reply,
+            AccessReply::Blocked
+        );
+        assert_eq!(
+            m.request_access(&meta(3), page(1), true).reply,
+            AccessReply::Blocked
+        );
         // T2 (the queued waiter) aborts; T1 still holds, so nothing granted.
         assert!(m.abort(TxnId(2)).granted.is_empty());
         // T1 commits: T3 gets the lock (T2 is gone).
@@ -191,7 +209,10 @@ mod tests {
         m.request_access(&meta(1), page(1), true);
         m.request_access(&meta(2), page(2), true);
         // T1 waits for B.
-        assert_eq!(m.request_access(&meta(1), page(2), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(1), page(2), true).reply,
+            AccessReply::Blocked
+        );
         // T2 requests A → cycle. T2 is youngest → T2 itself is rejected.
         let r = m.request_access(&meta(2), page(1), true);
         assert_eq!(r.reply, AccessReply::Rejected);
@@ -208,7 +229,10 @@ mod tests {
         m.request_access(&meta(2), page(1), true);
         m.request_access(&meta(1), page(2), true);
         // T2 waits for B (no cycle yet).
-        assert_eq!(m.request_access(&meta(2), page(2), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(2), page(2), true).reply,
+            AccessReply::Blocked
+        );
         // T1 requests A → cycle {T1, T2}; victim is T2 (younger), not the
         // requester, so T1 blocks and T2 is reported for abort.
         let r = m.request_access(&meta(1), page(1), true);
@@ -236,8 +260,14 @@ mod tests {
         m.request_access(&meta(1), page(1), true);
         m.request_access(&meta(2), page(2), true);
         m.request_access(&meta(3), page(3), true);
-        assert_eq!(m.request_access(&meta(1), page(2), true).reply, AccessReply::Blocked);
-        assert_eq!(m.request_access(&meta(2), page(3), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(1), page(2), true).reply,
+            AccessReply::Blocked
+        );
+        assert_eq!(
+            m.request_access(&meta(2), page(3), true).reply,
+            AccessReply::Blocked
+        );
         // T3 → page(1) closes the cycle; T3 is the youngest → rejected itself.
         let r = m.request_access(&meta(3), page(1), true);
         assert_eq!(r.reply, AccessReply::Rejected);

@@ -18,13 +18,13 @@ use crate::common::{AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
 use crate::locktable::{LockOutcome, LockTable};
 use crate::manager::CcManager;
 use ddbm_config::{Algorithm, PageId, TxnId};
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 /// See module docs.
 #[derive(Debug, Default)]
 pub struct WaitDie {
     table: LockTable,
-    initial_ts: HashMap<TxnId, Ts>,
+    initial_ts: FxHashMap<TxnId, Ts>,
 }
 
 impl WaitDie {
@@ -86,7 +86,11 @@ impl WaitDie {
 impl CcManager for WaitDie {
     fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
         self.initial_ts.insert(txn.id, txn.initial_ts);
-        let mode = if write { LockMode::Write } else { LockMode::Read };
+        let mode = if write {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
         match self.table.request(txn.id, page, mode) {
             LockOutcome::Granted => {
                 // A granted *upgrade* strengthens the holder's mode; any
@@ -181,8 +185,14 @@ mod tests {
     fn compatible_reads_share_regardless_of_age() {
         let mut m = WaitDie::new();
         m.request_access(&meta(1), page(1), false);
-        assert_eq!(m.request_access(&meta(9), page(1), false).reply, AccessReply::Granted);
-        assert_eq!(m.request_access(&meta(5), page(1), false).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta(9), page(1), false).reply,
+            AccessReply::Granted
+        );
+        assert_eq!(
+            m.request_access(&meta(5), page(1), false).reply,
+            AccessReply::Granted
+        );
     }
 
     #[test]
@@ -190,7 +200,7 @@ mod tests {
         let mut m = WaitDie::new();
         m.request_access(&meta(5), page(1), false); // reader holds
         m.request_access(&meta(1), page(1), true); // old writer queues
-        // A younger reader would wait behind the old writer → dies.
+                                                   // A younger reader would wait behind the old writer → dies.
         let r = m.request_access(&meta(7), page(1), false);
         assert_eq!(r.reply, AccessReply::Rejected);
     }
@@ -199,8 +209,11 @@ mod tests {
     fn old_reader_waits_behind_young_queued_writer() {
         let mut m = WaitDie::new();
         m.request_access(&meta(8), page(1), false); // young reader holds
-        // An older writer waits behind the younger holder (old may wait).
-        assert_eq!(m.request_access(&meta(6), page(1), true).reply, AccessReply::Blocked);
+                                                    // An older writer waits behind the younger holder (old may wait).
+        assert_eq!(
+            m.request_access(&meta(6), page(1), true).reply,
+            AccessReply::Blocked
+        );
         // An even older reader waits behind the (younger) queued writer.
         let r = m.request_access(&meta(2), page(1), false);
         assert_eq!(r.reply, AccessReply::Blocked);
@@ -211,9 +224,15 @@ mod tests {
         let mut m = WaitDie::new();
         // T2 holds. Queue: T1 (older than T2 → allowed to wait)…
         m.request_access(&meta(2), page(1), true);
-        assert_eq!(m.request_access(&meta(1), page(1), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(1), page(1), true).reply,
+            AccessReply::Blocked
+        );
         // …then T0, the oldest, also waits.
-        assert_eq!(m.request_access(&meta(0), page(1), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(0), page(1), true).reply,
+            AccessReply::Blocked
+        );
         // T2 commits: FIFO grants T1; T0 now waits behind the *younger*
         // holder T1 — fine for wait-die (old waits). Nothing dies.
         let rel = m.commit(TxnId(2));
@@ -246,6 +265,9 @@ mod tests {
         }
         // …but once T1 is gone, T5 gets through.
         m.commit(TxnId(1));
-        assert_eq!(m.request_access(&meta(5), page(1), true).reply, AccessReply::Granted);
+        assert_eq!(
+            m.request_access(&meta(5), page(1), true).reply,
+            AccessReply::Granted
+        );
     }
 }

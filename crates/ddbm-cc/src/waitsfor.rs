@@ -8,13 +8,13 @@
 
 use crate::common::Ts;
 use ddbm_config::TxnId;
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 /// Find one cycle in the directed graph given by `edges`, if any, returning
 /// its member transactions. Detection is deterministic: nodes are explored
 /// in sorted order.
 pub fn find_cycle(edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
-    let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+    let mut adj: FxHashMap<TxnId, Vec<TxnId>> = FxHashMap::default();
     for (from, to) in edges {
         adj.entry(*from).or_default().push(*to);
         adj.entry(*to).or_default();
@@ -32,7 +32,7 @@ pub fn find_cycle(edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
         Grey,
         Black,
     }
-    let mut color: HashMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
+    let mut color: FxHashMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
 
     // Iterative DFS keeping the grey path so the cycle can be extracted.
     for &start in &nodes {
@@ -74,10 +74,7 @@ pub fn find_cycle(edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
 /// Repeatedly find cycles and select victims until the graph is acyclic.
 /// The victim of each cycle is the youngest member (largest `initial_ts`).
 /// Returns the victims in selection order.
-pub fn resolve_deadlocks(
-    edges: &[(TxnId, TxnId)],
-    ts_of: impl Fn(TxnId) -> Ts,
-) -> Vec<TxnId> {
+pub fn resolve_deadlocks(edges: &[(TxnId, TxnId)], ts_of: impl Fn(TxnId) -> Ts) -> Vec<TxnId> {
     let mut remaining: Vec<(TxnId, TxnId)> = edges.to_vec();
     let mut victims = Vec::new();
     while let Some(cycle) = find_cycle(&remaining) {
@@ -175,9 +172,8 @@ mod tests {
     #[test]
     fn long_cycle_detected() {
         let n = 50u64;
-        let mut edges: Vec<(TxnId, TxnId)> = (0..n)
-            .map(|i| (TxnId(i), TxnId((i + 1) % n)))
-            .collect();
+        let mut edges: Vec<(TxnId, TxnId)> =
+            (0..n).map(|i| (TxnId(i), TxnId((i + 1) % n))).collect();
         // Plus some acyclic noise.
         edges.push((TxnId(100), TxnId(3)));
         edges.push((TxnId(101), TxnId(100)));

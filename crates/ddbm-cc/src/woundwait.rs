@@ -19,13 +19,13 @@ use crate::common::{AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
 use crate::locktable::{LockOutcome, LockTable};
 use crate::manager::CcManager;
 use ddbm_config::{Algorithm, PageId, TxnId};
-use std::collections::HashMap;
+use denet::FxHashMap;
 
 /// See module docs.
 #[derive(Debug, Default)]
 pub struct WoundWait {
     table: LockTable,
-    initial_ts: HashMap<TxnId, Ts>,
+    initial_ts: FxHashMap<TxnId, Ts>,
 }
 
 impl WoundWait {
@@ -114,7 +114,11 @@ impl WoundWait {
 impl CcManager for WoundWait {
     fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse {
         self.initial_ts.insert(txn.id, txn.initial_ts);
-        let mode = if write { LockMode::Write } else { LockMode::Read };
+        let mode = if write {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        };
         // Compute wounds against the holders *before* queueing: these are
         // the transactions whose locks the (older) requester refuses to
         // wait behind.
@@ -211,7 +215,7 @@ mod tests {
         let mut m = WoundWait::new();
         m.request_access(&meta(5), page(1), false); // younger read holder
         m.request_access(&meta(6), page(1), false); // another younger reader
-        // An older *reader* is compatible; no wound, no wait.
+                                                    // An older *reader* is compatible; no wound, no wait.
         let r = m.request_access(&meta(1), page(1), false);
         assert_eq!(r.reply, AccessReply::Granted);
     }
@@ -241,7 +245,10 @@ mod tests {
         let mut m = WoundWait::new();
         // T3 holds; queue: first T5 (young), then T2 (older than T5).
         m.request_access(&meta(3), page(1), true);
-        assert_eq!(m.request_access(&meta(5), page(1), true).reply, AccessReply::Blocked);
+        assert_eq!(
+            m.request_access(&meta(5), page(1), true).reply,
+            AccessReply::Blocked
+        );
         let r = m.request_access(&meta(2), page(1), true);
         assert_eq!(r.reply, AccessReply::Blocked);
         // T2 is older than both the holder T3 and the queued T5; it wounds

@@ -35,8 +35,14 @@ enum Step {
 /// A transaction script: two accesses then commit.
 fn script(p1: u64, w1: bool, p2: u64, w2: bool) -> Vec<Step> {
     vec![
-        Step::Access { page: p1, write: w1 },
-        Step::Access { page: p2, write: w2 },
+        Step::Access {
+            page: p1,
+            write: w1,
+        },
+        Step::Access {
+            page: p2,
+            write: w2,
+        },
         Step::Commit,
     ]
 }

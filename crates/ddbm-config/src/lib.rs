@@ -19,5 +19,7 @@ pub mod placement;
 
 pub use config::{Config, ConfigError};
 pub use ids::{FileId, NodeId, PageId, TerminalId, TxnId};
-pub use params::{Algorithm, DatabaseParams, ExecPattern, SimControl, SystemParams, WorkloadParams};
+pub use params::{
+    Algorithm, DatabaseParams, ExecPattern, SimControl, SystemParams, WorkloadParams,
+};
 pub use placement::Placement;

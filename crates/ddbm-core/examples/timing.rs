@@ -9,7 +9,11 @@ fn main() {
         let r = run_config(config).unwrap();
         println!(
             "{label}: wall={:?} commits={} tps={:.2} rt={:.3} truncated={}",
-            t0.elapsed(), r.commits, r.throughput, r.mean_response_time, r.truncated
+            t0.elapsed(),
+            r.commits,
+            r.throughput,
+            r.mean_response_time,
+            r.truncated
         );
     }
 }

@@ -32,10 +32,11 @@ pub mod history;
 pub mod metrics;
 pub mod protocol;
 pub mod simulator;
+pub mod store;
 pub mod txn;
 pub mod workload;
 
-pub use metrics::{MetricsCollector, RunReport};
 pub use history::HistoryRecorder;
+pub use metrics::{MetricsCollector, RunReport};
 pub use simulator::{run_config, run_with_history, Simulator};
 pub use workload::{generate_template, Access, CohortSpec, TxnTemplate};

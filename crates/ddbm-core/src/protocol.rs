@@ -174,9 +174,15 @@ pub enum CpuJob {
         access: usize,
     },
     /// Initiation of one asynchronous post-commit page write
-    /// (`InstPerUpdate`): the first page of `pages` is written and the rest
-    /// chain behind it, one initiation at a time.
-    UpdateInit { txn: TxnId, pages: Vec<PageId> },
+    /// (`InstPerUpdate`): `pages[next]` is written and the rest chain behind
+    /// it, one initiation at a time. The cursor (rather than popping the
+    /// front) lets the whole chain reuse one page list without shifting or
+    /// reallocating.
+    UpdateInit {
+        txn: TxnId,
+        pages: Vec<PageId>,
+        next: usize,
+    },
     /// Protocol processing to send a message; on completion the message is
     /// handed to the network.
     MsgSend(Message),

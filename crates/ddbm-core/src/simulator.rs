@@ -12,15 +12,14 @@
 use crate::history::HistoryRecorder;
 use crate::metrics::{MetricsCollector, RunReport};
 use crate::protocol::{CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
+use crate::store::TxnStore;
 use crate::txn::{TxnPhase, TxnRuntime};
 use crate::workload::{generate_template, TxnTemplate};
-use ddbm_cc::{
-    make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts,
-};
+use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
 use ddbm_config::{Algorithm, Config, ConfigError, NodeId, Placement, TxnId};
-use denet::{EventCalendar, SimDuration, SimRng, SimTime};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
-use std::collections::HashMap;
+use denet::{EventCalendar, SimDuration, SimRng, SimTime};
+use std::rc::Rc;
 
 struct NodeState {
     cpu: Cpu<CpuJob>,
@@ -29,8 +28,16 @@ struct NodeState {
     /// Extension: per-node LRU buffer pool (capacity 0 = the paper's model,
     /// every read access does a disk I/O).
     buffer: LruPool<ddbm_config::PageId>,
-    /// Dedup for scheduled CPU polls: the earliest poll already scheduled.
+    /// Time of the most recently scheduled CPU poll — the only one that is
+    /// still valid. Every CPU state change reschedules from the fresh
+    /// prediction, so a poll that fires at any other time has been
+    /// superseded and is ignored without touching the CPU. (Touching on
+    /// stale polls is not just wasted work: each no-op advance re-references
+    /// the ceil-rounded completion prediction, pushing it ~1ns later, which
+    /// used to make the handler reschedule yet another poll — a feedback
+    /// loop that produced ~76 stale polls per real CPU state change.)
     cpu_poll_at: Option<SimTime>,
+    /// Same latest-wins dedup for disk polls.
     disk_poll_at: Option<SimTime>,
 }
 
@@ -52,8 +59,14 @@ pub struct Simulator {
     placement: Placement,
     calendar: EventCalendar<Event>,
     nodes: Vec<NodeState>,
-    txns: HashMap<TxnId, TxnRuntime>,
+    txns: TxnStore,
     next_txn: u64,
+    /// Scratch buffers reused by [`touch_cpu`](Self::touch_cpu) /
+    /// [`touch_disks`](Self::touch_disks). A pool rather than a single
+    /// buffer because handling one completion can recursively advance the
+    /// same resource (e.g. a message completion sends another message).
+    cpu_bufs: Vec<Vec<CpuJob>>,
+    disk_bufs: Vec<Vec<DiskJob>>,
     rng_think: SimRng,
     rng_work: SimRng,
     rng_proc: SimRng,
@@ -93,16 +106,15 @@ impl Simulator {
             placement,
             calendar: EventCalendar::new(),
             nodes,
-            txns: HashMap::new(),
+            txns: TxnStore::new(),
             next_txn: 1,
+            cpu_bufs: Vec::new(),
+            disk_bufs: Vec::new(),
             rng_think: SimRng::derive(seed, "think"),
             rng_work: SimRng::derive(seed, "workload"),
             rng_proc: SimRng::derive(seed, "page-processing"),
             rng_disk: SimRng::derive(seed, "disk"),
-            history: config
-                .control
-                .record_history
-                .then(HistoryRecorder::new),
+            history: config.control.record_history.then(HistoryRecorder::new),
             metrics: MetricsCollector::new(),
             warmup_done: false,
             snoop: None.or(snoop),
@@ -133,12 +145,11 @@ impl Simulator {
         for terminal in 0..self.config.workload.num_terminals {
             let delay = self.think_delay();
             self.calendar
-                .schedule(SimTime::ZERO + delay, Event::TerminalSubmit { terminal });
+                .schedule_after(delay, Event::TerminalSubmit { terminal });
         }
         if self.snoop.is_some() {
-            let at = SimTime::ZERO + self.config.system.detection_interval;
-            self.calendar.schedule(
-                at,
+            self.calendar.schedule_after(
+                self.config.system.detection_interval,
                 Event::SnoopWake {
                     node: NodeId(1),
                     round: 0,
@@ -180,11 +191,8 @@ impl Simulator {
         let m = &self.metrics;
         let elapsed = end.since(m.measure_start).as_secs_f64();
         let procs = &self.nodes[1..];
-        let proc_cpu = procs
-            .iter()
-            .map(|n| n.cpu.utilization(end))
-            .sum::<f64>()
-            / procs.len() as f64;
+        let proc_cpu =
+            procs.iter().map(|n| n.cpu.utilization(end)).sum::<f64>() / procs.len() as f64;
         let disk = procs
             .iter()
             .map(|n| n.disks.mean_utilization(end))
@@ -202,7 +210,11 @@ impl Simulator {
             response_time_std: m.response_time.std_dev(),
             response_time_ci95: {
                 let hw = m.response_batches.ci95_half_width();
-                if hw.is_finite() { hw } else { 0.0 }
+                if hw.is_finite() {
+                    hw
+                } else {
+                    0.0
+                }
             },
             abort_ratio: if m.commits > 0 {
                 m.aborts as f64 / m.commits as f64
@@ -216,11 +228,9 @@ impl Simulator {
             measured_seconds: elapsed,
             truncated: self.truncated,
             buffer_hit_ratio: {
-                let (hits, misses) = self.nodes[1..]
-                    .iter()
-                    .fold((0u64, 0u64), |(h, m), n| {
-                        (h + n.buffer.hits(), m + n.buffer.misses())
-                    });
+                let (hits, misses) = self.nodes[1..].iter().fold((0u64, 0u64), |(h, m), n| {
+                    (h + n.buffer.hits(), m + n.buffer.misses())
+                });
                 if hits + misses == 0 {
                     0.0
                 } else {
@@ -238,20 +248,29 @@ impl Simulator {
         match ev {
             Event::TerminalSubmit { terminal } => self.submit_transaction(now, terminal),
             Event::CpuPoll { node } => {
-                self.nodes[node.0].cpu_poll_at = None;
-                self.touch_cpu(now, node);
-                self.resched_cpu(now, node);
+                // Only the most recently scheduled poll is valid; see the
+                // `cpu_poll_at` field docs.
+                if self.nodes[node.0].cpu_poll_at == Some(now) {
+                    self.nodes[node.0].cpu_poll_at = None;
+                    self.touch_cpu(now, node);
+                    self.resched_cpu(now, node);
+                }
             }
             Event::DiskPoll { node } => {
-                self.nodes[node.0].disk_poll_at = None;
-                self.touch_disks(now, node);
-                self.resched_disks(now, node);
+                if self.nodes[node.0].disk_poll_at == Some(now) {
+                    self.nodes[node.0].disk_poll_at = None;
+                    self.touch_disks(now, node);
+                    self.resched_disks(now, node);
+                }
             }
             Event::Restart { txn } => self.restart_txn(now, txn),
             Event::SnoopWake { node, round } => self.snoop_wake(now, node, round),
-            Event::LockTimeout { txn, run, cohort, access } => {
-                self.on_lock_timeout(now, txn, run, cohort, access)
-            }
+            Event::LockTimeout {
+                txn,
+                run,
+                cohort,
+                access,
+            } => self.on_lock_timeout(now, txn, run, cohort, access),
         }
     }
 
@@ -266,7 +285,7 @@ impl Simulator {
         cohort: CohortIdx,
         access: usize,
     ) {
-        let Some(txn) = self.txns.get(&id) else {
+        let Some(txn) = self.txns.get(id) else {
             return;
         };
         if txn.run != run
@@ -277,7 +296,12 @@ impl Simulator {
             return; // the wait resolved before the timer fired
         }
         let node = txn.template.cohorts[cohort].node;
-        self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+        self.send(
+            now,
+            node,
+            NodeId::HOST,
+            MsgKind::AbortRequest { txn: id, run },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -290,14 +314,19 @@ impl Simulator {
         let template: TxnTemplate =
             generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
         let txn = TxnRuntime::new(id, terminal, template, now);
-        self.txns.insert(id, txn);
+        self.txns.insert(txn);
         // Run 1 pays the coordinator process-startup cost at the host.
         let startup = self.config.system.inst_per_startup as f64;
-        self.cpu_shared(now, NodeId::HOST, CpuJob::CoordStartup { txn: id, run: 1 }, startup);
+        self.cpu_shared(
+            now,
+            NodeId::HOST,
+            CpuJob::CoordStartup { txn: id, run: 1 },
+            startup,
+        );
     }
 
     fn restart_txn(&mut self, now: SimTime, id: TxnId) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         debug_assert_eq!(txn.phase, TxnPhase::WaitingRestart);
@@ -311,24 +340,23 @@ impl Simulator {
     /// Send `LoadCohort` to the cohorts that should start now: all of them
     /// for parallel execution, just the first for sequential.
     fn load_cohorts(&mut self, now: SimTime, id: TxnId, run: RunId) {
-        let Some(txn) = self.txns.get(&id) else {
+        let Some(txn) = self.txns.get(id) else {
             return;
         };
         let parallel = matches!(
             self.config.workload.exec_pattern,
             ddbm_config::ExecPattern::Parallel
         );
-        let count = if parallel { txn.template.cohorts.len() } else { 1 };
-        let targets: Vec<(usize, NodeId)> = txn
-            .template
-            .cohorts
-            .iter()
-            .take(count)
-            .enumerate()
-            .map(|(i, c)| (i, c.node))
-            .collect();
-        for (cohort, node) in targets {
-            self.load_one_cohort(now, id, run, cohort, node);
+        let count = if parallel {
+            txn.template.cohorts.len()
+        } else {
+            1
+        };
+        // Hold the (immutable, Rc-shared) plan across the sends instead of
+        // collecting a target list per fan-out.
+        let template = Rc::clone(&txn.template);
+        for (cohort, spec) in template.cohorts.iter().take(count).enumerate() {
+            self.load_one_cohort(now, id, run, cohort, spec.node);
         }
     }
 
@@ -340,21 +368,25 @@ impl Simulator {
         cohort: CohortIdx,
         node: NodeId,
     ) {
-        if let Some(txn) = self.txns.get_mut(&id) {
+        if let Some(txn) = self.txns.get_mut(id) {
             txn.cohorts[cohort].loaded = true;
         }
         self.send(
             now,
             NodeId::HOST,
             node,
-            MsgKind::LoadCohort { txn: id, run, cohort },
+            MsgKind::LoadCohort {
+                txn: id,
+                run,
+                cohort,
+            },
         );
     }
 
     /// True if (txn, run, cohort) identifies a cohort that is still
     /// executing — the guard that drops stale completions.
     fn live_cohort(&self, id: TxnId, run: RunId, cohort: CohortIdx) -> bool {
-        self.txns.get(&id).is_some_and(|t| {
+        self.txns.get(id).is_some_and(|t| {
             t.run == run
                 && t.phase == TxnPhase::Executing
                 && t.cohorts.get(cohort).is_some_and(|c| !c.done)
@@ -366,17 +398,26 @@ impl Simulator {
         if !self.live_cohort(id, run, cohort) {
             return;
         }
-        let txn = &self.txns[&id];
+        let txn = self.txns.get(id).expect("live cohort checked");
         let next = txn.cohorts[cohort].next_access;
         let spec = &txn.template.cohorts[cohort];
         if next >= spec.accesses.len() {
             // All accesses complete: report to the coordinator. Locks and
             // workspace updates are held through the commit protocol.
             let node = spec.node;
-            if let Some(t) = self.txns.get_mut(&id) {
+            if let Some(t) = self.txns.get_mut(id) {
                 t.cohorts[cohort].done = true;
             }
-            self.send(now, node, NodeId::HOST, MsgKind::CohortDone { txn: id, run, cohort });
+            self.send(
+                now,
+                node,
+                NodeId::HOST,
+                MsgKind::CohortDone {
+                    txn: id,
+                    run,
+                    cohort,
+                },
+            );
             return;
         }
         // Concurrency-control request processing first (InstPerCCReq).
@@ -385,7 +426,12 @@ impl Simulator {
         self.cpu_shared(
             now,
             node,
-            CpuJob::CcRequest { txn: id, run, cohort, access: next },
+            CpuJob::CcRequest {
+                txn: id,
+                run,
+                cohort,
+                access: next,
+            },
             cc_instr,
         );
     }
@@ -403,30 +449,40 @@ impl Simulator {
         if !self.live_cohort(id, run, cohort) {
             return;
         }
-        let txn = &self.txns[&id];
+        let txn = self.txns.get(id).expect("live cohort checked");
         let meta = txn.meta();
         let acc = txn.template.cohorts[cohort].accesses[access];
         let resp = self.nodes[node.0]
             .cc
             .request_access(&meta, acc.page, acc.write);
-        let side = resp.side_effects.clone();
+        // Move the side effects out instead of cloning the grant/reject lists.
+        let side = resp.side_effects;
         match resp.reply {
             AccessReply::Granted => self.access_granted(now, node, id, run, cohort, access),
             AccessReply::Blocked => {
-                if let Some(t) = self.txns.get_mut(&id) {
+                if let Some(t) = self.txns.get_mut(id) {
                     t.cohorts[cohort].blocked_since = Some(now);
                 }
                 if self.config.algorithm == Algorithm::TwoPhaseLockingTimeout {
-                    let at = now + self.config.system.lock_timeout;
-                    self.calendar.schedule(
-                        at,
-                        Event::LockTimeout { txn: id, run, cohort, access },
+                    self.calendar.schedule_after(
+                        self.config.system.lock_timeout,
+                        Event::LockTimeout {
+                            txn: id,
+                            run,
+                            cohort,
+                            access,
+                        },
                     );
                 }
             }
             AccessReply::Rejected => {
                 // The requester must abort: tell the coordinator.
-                self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+                self.send(
+                    now,
+                    node,
+                    NodeId::HOST,
+                    MsgKind::AbortRequest { txn: id, run },
+                );
             }
         }
         self.apply_release(now, node, side);
@@ -447,7 +503,13 @@ impl Simulator {
         if !self.live_cohort(id, run, cohort) {
             return;
         }
-        let acc = self.txns[&id].template.cohorts[cohort].accesses[access];
+        let acc = self
+            .txns
+            .get(id)
+            .expect("live cohort checked")
+            .template
+            .cohorts[cohort]
+            .accesses[access];
         if !acc.write {
             if let Some(h) = &mut self.history {
                 h.record(id, run, acc.page, false, now);
@@ -465,7 +527,13 @@ impl Simulator {
             self.nodes[node.0].disks.submit(
                 now,
                 disk,
-                DiskJob::Read { txn: id, run, cohort, access, page: acc.page },
+                DiskJob::Read {
+                    txn: id,
+                    run,
+                    cohort,
+                    access,
+                    page: acc.page,
+                },
                 false,
                 service,
             );
@@ -488,7 +556,12 @@ impl Simulator {
         self.cpu_shared(
             now,
             node,
-            CpuJob::PageProcess { txn: id, run, cohort, access },
+            CpuJob::PageProcess {
+                txn: id,
+                run,
+                cohort,
+                access,
+            },
             instr,
         );
     }
@@ -497,7 +570,7 @@ impl Simulator {
         if !self.live_cohort(id, run, cohort) {
             return;
         }
-        if let Some(t) = self.txns.get_mut(&id) {
+        if let Some(t) = self.txns.get_mut(id) {
             t.cohorts[cohort].next_access += 1;
         }
         self.cohort_continue(now, id, run, cohort);
@@ -512,7 +585,7 @@ impl Simulator {
     /// coordinator.
     fn apply_release(&mut self, now: SimTime, node: NodeId, rel: ReleaseResponse) {
         for (id, _page) in rel.granted {
-            let Some(txn) = self.txns.get_mut(&id) else {
+            let Some(txn) = self.txns.get_mut(id) else {
                 continue;
             };
             let Some(cohort) = txn.cohort_at(node) else {
@@ -528,7 +601,7 @@ impl Simulator {
             self.access_granted(now, node, id, run, cohort, access);
         }
         for (id, _page) in rel.rejected {
-            let Some(txn) = self.txns.get_mut(&id) else {
+            let Some(txn) = self.txns.get_mut(id) else {
                 continue;
             };
             let Some(cohort) = txn.cohort_at(node) else {
@@ -540,14 +613,24 @@ impl Simulator {
                     self.metrics.record_blocking(now.since(since));
                 }
             }
-            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+            self.send(
+                now,
+                node,
+                NodeId::HOST,
+                MsgKind::AbortRequest { txn: id, run },
+            );
         }
         for id in rel.must_abort {
-            let Some(txn) = self.txns.get(&id) else {
+            let Some(txn) = self.txns.get(id) else {
                 continue;
             };
             let run = txn.run;
-            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: id, run });
+            self.send(
+                now,
+                node,
+                NodeId::HOST,
+                MsgKind::AbortRequest { txn: id, run },
+            );
         }
     }
 
@@ -560,27 +643,52 @@ impl Simulator {
         match msg.kind {
             MsgKind::LoadCohort { txn, run, cohort } => {
                 // Drop if the run died while the message was in flight.
-                if !self.txns.get(&txn).is_some_and(|t| {
-                    t.run == run && t.phase == TxnPhase::Executing
-                }) {
+                if !self
+                    .txns
+                    .get(txn)
+                    .is_some_and(|t| t.run == run && t.phase == TxnPhase::Executing)
+                {
                     return;
                 }
                 let startup = self.config.system.inst_per_startup as f64;
-                self.cpu_shared(now, node, CpuJob::CohortStartup { txn, run, cohort }, startup);
+                self.cpu_shared(
+                    now,
+                    node,
+                    CpuJob::CohortStartup { txn, run, cohort },
+                    startup,
+                );
             }
             MsgKind::CohortDone { txn, run, cohort } => self.on_cohort_done(now, txn, run, cohort),
-            MsgKind::Prepare { txn, run, cohort, commit_ts } => {
-                let Some(t) = self.txns.get(&txn) else { return };
+            MsgKind::Prepare {
+                txn,
+                run,
+                cohort,
+                commit_ts,
+            } => {
+                let Some(t) = self.txns.get(txn) else { return };
                 if t.run != run {
                     return;
                 }
                 let yes = self.nodes[node.0].cc.certify(&t.meta(), commit_ts);
-                self.send(now, node, NodeId::HOST, MsgKind::Vote { txn, run, cohort, yes });
+                self.send(
+                    now,
+                    node,
+                    NodeId::HOST,
+                    MsgKind::Vote {
+                        txn,
+                        run,
+                        cohort,
+                        yes,
+                    },
+                );
             }
             MsgKind::Vote { txn, run, yes, .. } => self.on_vote(now, txn, run, yes),
-            MsgKind::Decision { txn, run, cohort, commit } => {
-                self.on_decision(now, node, txn, run, cohort, commit)
-            }
+            MsgKind::Decision {
+                txn,
+                run,
+                cohort,
+                commit,
+            } => self.on_decision(now, node, txn, run, cohort, commit),
             MsgKind::Ack { txn, run, .. } => self.on_ack(now, txn, run),
             MsgKind::AbortRequest { txn, run } => self.on_abort_request(now, txn, run),
             MsgKind::AbortCohort { txn, run, cohort } => {
@@ -600,7 +708,12 @@ impl Simulator {
                 self.nodes[node.0].disks.cancel_queued_where(|job| {
                     matches!(job, DiskJob::Read { txn: t, run: r, .. } if *t == txn && *r == run)
                 });
-                self.send(now, node, NodeId::HOST, MsgKind::AbortAck { txn, run, cohort });
+                self.send(
+                    now,
+                    node,
+                    NodeId::HOST,
+                    MsgKind::AbortAck { txn, run, cohort },
+                );
             }
             MsgKind::AbortAck { txn, run, .. } => self.on_abort_ack(now, txn, run),
             MsgKind::SnoopRequest { round } => {
@@ -611,14 +724,16 @@ impl Simulator {
             MsgKind::SnoopPass => {
                 let Some(snoop) = &self.snoop else { return };
                 let round = snoop.round;
-                let at = now + self.config.system.detection_interval;
-                self.calendar.schedule(at, Event::SnoopWake { node, round });
+                self.calendar.schedule_after(
+                    self.config.system.detection_interval,
+                    Event::SnoopWake { node, round },
+                );
             }
         }
     }
 
     fn on_cohort_done(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         if txn.run != run || txn.phase != TxnPhase::Executing {
@@ -645,25 +760,24 @@ impl Simulator {
         txn.all_yes = true;
         let commit_ts = Ts::new(now.0, id);
         txn.commit_ts = Some(commit_ts);
-        let targets: Vec<(usize, NodeId)> = txn
-            .template
-            .cohorts
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.node))
-            .collect();
-        for (cohort, node) in targets {
+        let template = Rc::clone(&txn.template);
+        for (cohort, spec) in template.cohorts.iter().enumerate() {
             self.send(
                 now,
                 NodeId::HOST,
-                node,
-                MsgKind::Prepare { txn: id, run, cohort, commit_ts },
+                spec.node,
+                MsgKind::Prepare {
+                    txn: id,
+                    run,
+                    cohort,
+                    commit_ts,
+                },
             );
         }
     }
 
     fn on_vote(&mut self, now: SimTime, id: TxnId, run: RunId, yes: bool) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         if txn.run != run || txn.phase != TxnPhase::Preparing {
@@ -681,19 +795,18 @@ impl Simulator {
             TxnPhase::AbortingVote
         };
         txn.acks_outstanding = txn.template.cohorts.len();
-        let targets: Vec<(usize, NodeId)> = txn
-            .template
-            .cohorts
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.node))
-            .collect();
-        for (cohort, node) in targets {
+        let template = Rc::clone(&txn.template);
+        for (cohort, spec) in template.cohorts.iter().enumerate() {
             self.send(
                 now,
                 NodeId::HOST,
-                node,
-                MsgKind::Decision { txn: id, run, cohort, commit },
+                spec.node,
+                MsgKind::Decision {
+                    txn: id,
+                    run,
+                    cohort,
+                    commit,
+                },
             );
         }
     }
@@ -707,19 +820,22 @@ impl Simulator {
         cohort: CohortIdx,
         commit: bool,
     ) {
-        let Some(txn) = self.txns.get(&id) else {
+        let Some(txn) = self.txns.get(id) else {
             return;
         };
         if txn.run != run {
             return;
         }
-        let pages: Vec<ddbm_config::PageId> = txn.template.cohorts[cohort]
-            .accesses
-            .iter()
-            .filter(|a| a.write)
-            .map(|a| a.page)
-            .collect();
         if commit {
+            // Only the commit path needs the write set; read-only cohorts
+            // and aborts build nothing (`collect` on an empty filter does
+            // not allocate either).
+            let pages: Vec<ddbm_config::PageId> = txn.template.cohorts[cohort]
+                .accesses
+                .iter()
+                .filter(|a| a.write)
+                .map(|a| a.page)
+                .collect();
             // Record installs *before* releasing locks: a release can grant
             // a waiter at this same instant, and its read must sequence
             // after these writes.
@@ -734,17 +850,35 @@ impl Simulator {
             // updated pages: InstPerUpdate CPU per page, then the disk write.
             if !pages.is_empty() {
                 let instr = self.config.system.inst_per_update as f64;
-                self.cpu_shared(now, node, CpuJob::UpdateInit { txn: id, pages }, instr);
+                self.cpu_shared(
+                    now,
+                    node,
+                    CpuJob::UpdateInit {
+                        txn: id,
+                        pages,
+                        next: 0,
+                    },
+                    instr,
+                );
             }
         } else {
             let rel = self.nodes[node.0].cc.abort(id);
             self.apply_release(now, node, rel);
         }
-        self.send(now, node, NodeId::HOST, MsgKind::Ack { txn: id, run, cohort });
+        self.send(
+            now,
+            node,
+            NodeId::HOST,
+            MsgKind::Ack {
+                txn: id,
+                run,
+                cohort,
+            },
+        );
     }
 
     fn on_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         if txn.run != run {
@@ -768,14 +902,14 @@ impl Simulator {
     /// The transaction is durably committed: record metrics, free state, and
     /// put the terminal back to thinking.
     fn complete_commit(&mut self, now: SimTime, id: TxnId) {
-        let txn = self.txns.remove(&id).expect("committing txn exists");
+        let txn = self.txns.remove(id).expect("committing txn exists");
         if let Some(h) = &mut self.history {
             h.commit(id, txn.run);
         }
         self.metrics.record_commit(now.since(txn.origin));
         let delay = self.think_delay();
-        self.calendar.schedule(
-            now + delay,
+        self.calendar.schedule_after(
+            delay,
             Event::TerminalSubmit {
                 terminal: txn.terminal,
             },
@@ -786,7 +920,7 @@ impl Simulator {
     /// An aborted run is fully dismantled: count it and schedule the rerun
     /// after one observed average response time (paper §3.3).
     fn complete_abort(&mut self, now: SimTime, id: TxnId) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         txn.phase = TxnPhase::WaitingRestart;
@@ -797,11 +931,12 @@ impl Simulator {
         }
         self.metrics.record_abort();
         let delay = self.metrics.restart_delay(fallback);
-        self.calendar.schedule(now + delay, Event::Restart { txn: id });
+        self.calendar
+            .schedule_after(delay, Event::Restart { txn: id });
     }
 
     fn on_abort_request(&mut self, now: SimTime, id: TxnId, run: RunId) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return; // already committed
         };
         if txn.run != run || txn.abort_in_progress() || txn.wound_immune() {
@@ -809,33 +944,38 @@ impl Simulator {
         }
         // Kill this run: dismantle every cohort loaded so far.
         txn.phase = TxnPhase::Aborting;
-        let loaded: Vec<(usize, NodeId)> = txn
-            .template
-            .cohorts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| txn.cohorts[*i].loaded)
-            .map(|(i, c)| (i, c.node))
-            .collect();
-        txn.acks_outstanding = loaded.len();
-        if loaded.is_empty() {
+        let loaded = txn.loaded_count();
+        txn.acks_outstanding = loaded;
+        if loaded == 0 {
             // No cohort ever started (abort raced cohort loading): the run
             // dies instantly.
             self.complete_abort(now, id);
             return;
         }
-        for (cohort, node) in loaded {
+        // The loaded flags cannot change underneath the sends (they are only
+        // set while the transaction is Executing, and it is now Aborting),
+        // so re-reading them per cohort is equivalent to snapshotting.
+        let template = Rc::clone(&txn.template);
+        for (cohort, spec) in template.cohorts.iter().enumerate() {
+            let is_loaded = self.txns.get(id).is_some_and(|t| t.cohorts[cohort].loaded);
+            if !is_loaded {
+                continue;
+            }
             self.send(
                 now,
                 NodeId::HOST,
-                node,
-                MsgKind::AbortCohort { txn: id, run, cohort },
+                spec.node,
+                MsgKind::AbortCohort {
+                    txn: id,
+                    run,
+                    cohort,
+                },
             );
         }
     }
 
     fn on_abort_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
-        let Some(txn) = self.txns.get_mut(&id) else {
+        let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         if txn.run != run || txn.phase != TxnPhase::Aborting {
@@ -859,17 +999,18 @@ impl Simulator {
             return; // stale wake-up
         }
         snoop.edges = self.nodes[node.0].cc.waits_for_edges();
-        let others: Vec<NodeId> = (1..self.nodes.len())
-            .map(NodeId)
-            .filter(|n| *n != node)
-            .collect();
-        if others.is_empty() {
+        // Every processing node except the Snoop itself.
+        let others = self.nodes.len() - 2;
+        if others == 0 {
             self.finish_detection(now, node);
             return;
         }
-        self.snoop.as_mut().expect("snoop exists").awaiting = others.len();
-        for other in others {
-            self.send(now, node, other, MsgKind::SnoopRequest { round });
+        self.snoop.as_mut().expect("snoop exists").awaiting = others;
+        for i in 1..self.nodes.len() {
+            let other = NodeId(i);
+            if other != node {
+                self.send(now, node, other, MsgKind::SnoopRequest { round });
+            }
         }
     }
 
@@ -900,19 +1041,24 @@ impl Simulator {
         let mut edges = std::mem::take(&mut snoop.edges);
         // Edges naming transactions that finished while the gather was in
         // flight are stale; drop them.
-        edges.retain(|(a, b)| self.txns.contains_key(a) && self.txns.contains_key(b));
+        edges.retain(|(a, b)| self.txns.contains(*a) && self.txns.contains(*b));
         let txns = &self.txns;
         let victims = resolve_deadlocks(&edges, |t| {
-            txns.get(&t)
+            txns.get(t)
                 .map(|rt| rt.meta().initial_ts)
                 .unwrap_or(Ts::ZERO)
         });
         let requests: Vec<(TxnId, RunId)> = victims
             .into_iter()
-            .filter_map(|v| self.txns.get(&v).map(|t| (v, t.run)))
+            .filter_map(|v| self.txns.get(v).map(|t| (v, t.run)))
             .collect();
         for (victim, run) in requests {
-            self.send(now, node, NodeId::HOST, MsgKind::AbortRequest { txn: victim, run });
+            self.send(
+                now,
+                node,
+                NodeId::HOST,
+                MsgKind::AbortRequest { txn: victim, run },
+            );
         }
         // Pass the role round-robin over the processing nodes.
         let snoop = self.snoop.as_mut().expect("2PL only");
@@ -921,9 +1067,11 @@ impl Simulator {
         snoop.current = next;
         if next == node {
             // Single processing node: keep the role, schedule the next wake.
-            let at = now + self.config.system.detection_interval;
             let round = snoop.round;
-            self.calendar.schedule(at, Event::SnoopWake { node, round });
+            self.calendar.schedule_after(
+                self.config.system.detection_interval,
+                Event::SnoopWake { node, round },
+            );
         } else {
             self.send(now, node, next, MsgKind::SnoopPass);
         }
@@ -933,40 +1081,51 @@ impl Simulator {
     // Resource plumbing
     // ------------------------------------------------------------------
 
-    /// Advance a node's CPU and handle every completed job.
+    /// Advance a node's CPU and handle every completed job. Completions land
+    /// in a pooled scratch buffer, so steady-state advances do not allocate.
     fn touch_cpu(&mut self, now: SimTime, node: NodeId) {
-        let done = self.nodes[node.0].cpu.advance(now);
-        for job in done {
+        let mut buf = self.cpu_bufs.pop().unwrap_or_default();
+        self.nodes[node.0].cpu.advance_into(now, &mut buf);
+        for job in buf.drain(..) {
             self.handle_cpu_done(now, node, job);
         }
+        self.cpu_bufs.push(buf);
     }
 
     fn resched_cpu(&mut self, now: SimTime, node: NodeId) {
         let _ = now;
         let state = &mut self.nodes[node.0];
-        if let Some(at) = state.cpu.next_completion() {
-            if state.cpu_poll_at.is_none_or(|t| t > at) {
-                state.cpu_poll_at = Some(at);
-                self.calendar.schedule(at, Event::CpuPoll { node });
+        match state.cpu.next_completion() {
+            Some(at) => {
+                if state.cpu_poll_at != Some(at) {
+                    state.cpu_poll_at = Some(at);
+                    self.calendar.schedule(at, Event::CpuPoll { node });
+                }
             }
+            None => state.cpu_poll_at = None,
         }
     }
 
     fn touch_disks(&mut self, now: SimTime, node: NodeId) {
-        let done = self.nodes[node.0].disks.advance(now);
-        for job in done {
+        let mut buf = self.disk_bufs.pop().unwrap_or_default();
+        self.nodes[node.0].disks.advance_into(now, &mut buf);
+        for job in buf.drain(..) {
             self.handle_disk_done(now, node, job);
         }
+        self.disk_bufs.push(buf);
     }
 
     fn resched_disks(&mut self, now: SimTime, node: NodeId) {
         let _ = now;
         let state = &mut self.nodes[node.0];
-        if let Some(at) = state.disks.next_completion() {
-            if state.disk_poll_at.is_none_or(|t| t > at) {
-                state.disk_poll_at = Some(at);
-                self.calendar.schedule(at, Event::DiskPoll { node });
+        match state.disks.next_completion() {
+            Some(at) => {
+                if state.disk_poll_at != Some(at) {
+                    state.disk_poll_at = Some(at);
+                    self.calendar.schedule(at, Event::DiskPoll { node });
+                }
             }
+            None => state.disk_poll_at = None,
         }
     }
 
@@ -1016,33 +1175,51 @@ impl Simulator {
             CpuJob::CoordStartup { txn, run } => self.load_cohorts(now, txn, run),
             CpuJob::CohortStartup { txn, run, cohort } => {
                 if self.live_cohort(txn, run, cohort) {
-                    if let Some(t) = self.txns.get_mut(&txn) {
+                    if let Some(t) = self.txns.get_mut(txn) {
                         t.cohorts[cohort].started = true;
                     }
                     self.cohort_continue(now, txn, run, cohort);
                 }
             }
-            CpuJob::CcRequest { txn, run, cohort, access } => {
-                self.do_cc_request(now, node, txn, run, cohort, access)
-            }
-            CpuJob::PageProcess { txn, run, cohort, .. } => {
-                self.access_finished(now, txn, run, cohort)
-            }
-            CpuJob::UpdateInit { txn, mut pages } => {
-                // Issue the disk write for the first page, then chain the
-                // next initiation. The fresh page version is in memory, so
-                // it enters the buffer pool (extension; no-op at capacity 0).
-                let page = pages.remove(0);
+            CpuJob::CcRequest {
+                txn,
+                run,
+                cohort,
+                access,
+            } => self.do_cc_request(now, node, txn, run, cohort, access),
+            CpuJob::PageProcess {
+                txn, run, cohort, ..
+            } => self.access_finished(now, txn, run, cohort),
+            CpuJob::UpdateInit { txn, pages, next } => {
+                // Issue the disk write for the current page, then chain the
+                // next initiation, advancing the cursor through the shared
+                // page list (no front-shifting). The fresh page version is in
+                // memory, so it enters the buffer pool (extension; no-op at
+                // capacity 0).
+                let page = pages[next];
                 self.nodes[node.0].buffer.insert(page);
                 let service = self.disk_service_time();
                 let disk = self.rng_disk.index(self.config.system.num_disks);
-                self.nodes[node.0]
-                    .disks
-                    .submit(now, disk, DiskJob::WriteBack { txn }, true, service);
+                self.nodes[node.0].disks.submit(
+                    now,
+                    disk,
+                    DiskJob::WriteBack { txn },
+                    true,
+                    service,
+                );
                 self.resched_disks(now, node);
-                if !pages.is_empty() {
+                if next + 1 < pages.len() {
                     let instr = self.config.system.inst_per_update as f64;
-                    self.cpu_shared(now, node, CpuJob::UpdateInit { txn, pages }, instr);
+                    self.cpu_shared(
+                        now,
+                        node,
+                        CpuJob::UpdateInit {
+                            txn,
+                            pages,
+                            next: next + 1,
+                        },
+                        instr,
+                    );
                 }
             }
             CpuJob::MsgSend(msg) => self.deliver(now, msg),
@@ -1052,7 +1229,13 @@ impl Simulator {
 
     fn handle_disk_done(&mut self, now: SimTime, node: NodeId, job: DiskJob) {
         match job {
-            DiskJob::Read { txn, run, cohort, access, page } => {
+            DiskJob::Read {
+                txn,
+                run,
+                cohort,
+                access,
+                page,
+            } => {
                 self.nodes[node.0].buffer.insert(page);
                 if self.live_cohort(txn, run, cohort) {
                     self.start_page_processing(now, node, txn, run, cohort, access);
@@ -1108,9 +1291,7 @@ pub fn run_config(config: Config) -> Result<RunReport, ConfigError> {
 
 /// Run with history recording forced on and return the report together with
 /// the committed-history recorder, ready for serializability checking.
-pub fn run_with_history(
-    mut config: Config,
-) -> Result<(RunReport, HistoryRecorder), ConfigError> {
+pub fn run_with_history(mut config: Config) -> Result<(RunReport, HistoryRecorder), ConfigError> {
     config.control.record_history = true;
     let mut sim = Simulator::new(config)?;
     sim.seed();

@@ -5,6 +5,7 @@ use crate::workload::TxnTemplate;
 use ddbm_cc::{Ts, TxnMeta};
 use ddbm_config::{NodeId, TxnId};
 use denet::SimTime;
+use std::rc::Rc;
 
 /// Where a transaction is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +49,11 @@ pub struct TxnRuntime {
     pub id: TxnId,
     /// The terminal that submitted it (and thinks again after it commits).
     pub terminal: usize,
-    /// The immutable access plan, replayed identically on every run.
-    pub template: TxnTemplate,
+    /// The immutable access plan, replayed identically on every run. Shared
+    /// (`Rc`) so the simulator's fan-out loops can hold the plan while
+    /// mutating other transactions — cloning the handle is two machine words,
+    /// not a deep copy of the access lists.
+    pub template: Rc<TxnTemplate>,
     /// First submission time; response time is measured from here across
     /// all restarts, and it doubles as the (stable) initial timestamp.
     pub origin: SimTime,
@@ -78,7 +82,7 @@ impl TxnRuntime {
         TxnRuntime {
             id,
             terminal,
-            template,
+            template: Rc::new(template),
             origin: now,
             run: 1,
             run_start: now,
@@ -196,7 +200,11 @@ mod tests {
         assert_eq!(m1.run_ts, Ts::new(100, TxnId(1)));
         t.begin_run(SimTime(500));
         let m2 = t.meta();
-        assert_eq!(m2.initial_ts, Ts::new(100, TxnId(1)), "initial ts is stable");
+        assert_eq!(
+            m2.initial_ts,
+            Ts::new(100, TxnId(1)),
+            "initial ts is stable"
+        );
         assert_eq!(m2.run_ts, Ts::new(500, TxnId(1)), "run ts is fresh");
         assert_eq!(t.run, 2);
     }

@@ -138,11 +138,8 @@ mod tests {
         let t = generate_template(&c, &p, &mut rng, 17); // group 1
         assert_eq!(t.relation, 1);
         assert_eq!(t.cohorts.len(), 1);
-        let files: std::collections::HashSet<_> = t.cohorts[0]
-            .accesses
-            .iter()
-            .map(|a| a.page.file)
-            .collect();
+        let files: std::collections::HashSet<_> =
+            t.cohorts[0].accesses.iter().map(|a| a.page.file).collect();
         assert_eq!(files.len(), 8);
         let total = t.total_accesses();
         assert!((32..=96).contains(&total));

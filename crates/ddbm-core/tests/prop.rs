@@ -17,12 +17,12 @@ fn config_strategy() -> impl Strategy<Value = Config> {
     (
         algo_strategy(),
         prop::sample::select(vec![(1usize, 1usize), (2, 2), (4, 2), (8, 8), (8, 1)]),
-        1u64..4,             // min pages per file
-        0u64..3,             // extra pages beyond min
-        0.0f64..=1.0,        // write probability
+        1u64..4,      // min pages per file
+        0u64..3,      // extra pages beyond min
+        0.0f64..=1.0, // write probability
         prop::sample::select(vec![0.0f64, 0.5, 4.0]),
-        any::<u64>(),        // seed
-        prop::bool::ANY,     // sequential?
+        any::<u64>(),                                   // seed
+        prop::bool::ANY,                                // sequential?
         prop::sample::select(vec![0u64, 1_000, 4_000]), // msg cost
     )
         .prop_map(

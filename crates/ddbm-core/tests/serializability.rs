@@ -13,7 +13,7 @@ fn contended(algorithm: Algorithm) -> Config {
     c.workload.min_pages_per_file = 1;
     c.workload.max_pages_per_file = 3;
     c.database.pages_per_file = 25; // very hot pages
-    c.control.warmup_commits = 0;   // check the history from the first commit
+    c.control.warmup_commits = 0; // check the history from the first commit
     c.control.measure_commits = 400;
     c
 }
@@ -62,8 +62,8 @@ fn sequential_execution_is_serializable() {
 fn nodc_baseline_is_knowingly_unserializable_under_conflict() {
     // Sanity check that the oracle has teeth: NO_DC ignores all conflicts,
     // so a contended run must produce a non-serializable history.
-    let (report, history) = run_with_history(contended(Algorithm::NoDataContention))
-        .expect("valid");
+    let (report, history) =
+        run_with_history(contended(Algorithm::NoDataContention)).expect("valid");
     assert_eq!(report.commits, 400);
     assert!(
         history.check_conflict_serializability().is_err(),

@@ -188,7 +188,13 @@ mod tests {
 
     #[test]
     fn tiny_grid_is_rejected() {
-        let s = render(&fig(), ChartSize { width: 1, height: 1 });
+        let s = render(
+            &fig(),
+            ChartSize {
+                width: 1,
+                height: 1,
+            },
+        );
         assert!(s.contains("nothing to plot"));
     }
 
@@ -211,7 +217,13 @@ mod tests {
                 },
             ],
         };
-        let s = render(&f, ChartSize { width: 16, height: 8 });
+        let s = render(
+            &f,
+            ChartSize {
+                width: 16,
+                height: 8,
+            },
+        );
         assert!(s.contains('*'), "colliding first points:\n{s}");
     }
 }

@@ -116,8 +116,7 @@ pub fn e22_buffering(runner: &Runner, profile: &Profile, think: f64) -> FigureRe
         profile.apply(&mut c);
         c
     };
-    let pages_per_node =
-        probe.database.total_pages() / probe.system.num_proc_nodes as u64;
+    let pages_per_node = probe.database.total_pages() / probe.system.num_proc_nodes as u64;
     let capacities: Vec<u64> = E22_FRACTIONS
         .iter()
         .map(|f| (*f * pages_per_node as f64) as u64)

@@ -243,11 +243,7 @@ fn partitioning_sweep(
 
 /// Figures 8 (large DB) and 9 (small DB): response-time speedup of 8-way
 /// over 1-way partitioning on the 8-node machine.
-pub fn partitioning_speedup(
-    runner: &Runner,
-    profile: &Profile,
-    large_db: bool,
-) -> FigureResult {
+pub fn partitioning_speedup(runner: &Runner, profile: &Profile, large_db: bool) -> FigureResult {
     let one_way = partitioning_sweep(runner, profile, 1, large_db);
     let eight_way = partitioning_sweep(runner, profile, 8, large_db);
     let mut series = Vec::new();
@@ -435,11 +431,7 @@ pub fn fig17(runner: &Runner, profile: &Profile) -> FigureResult {
 
 /// E19 (§4.4 prose): 20K-instruction process startup with free messages —
 /// "very close to those of Figures 16 and 17".
-pub fn e19_startup_overhead(
-    runner: &Runner,
-    profile: &Profile,
-    think: f64,
-) -> FigureResult {
+pub fn e19_startup_overhead(runner: &Runner, profile: &Profile, think: f64) -> FigureResult {
     let id = if think == 0.0 {
         "e19-think0"
     } else {
@@ -509,11 +501,7 @@ pub fn all_figures(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
 }
 
 /// Look up a figure builder by id (`fig02`…`fig17`, `e17`, `e18`, `e19`).
-pub fn by_id(
-    runner: &Runner,
-    profile: &Profile,
-    id: &str,
-) -> Option<Vec<FigureResult>> {
+pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureResult>> {
     let one = |f: FigureResult| Some(vec![f]);
     match id {
         "fig02" => one(fig02(runner, profile)),
@@ -563,6 +551,6 @@ pub fn by_id(
 /// this reproduction's extension experiments (e20–e23).
 pub const FIGURE_IDS: [&str; 24] = [
     "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "e17", "e18", "e19", "e20", "e21",
-    "e22", "e23", "e24",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e23", "e24",
 ];

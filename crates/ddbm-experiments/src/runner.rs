@@ -2,18 +2,43 @@
 //!
 //! Figures share underlying simulation runs (e.g. Figures 2–7 all derive
 //! from the same 1-node/8-node sweeps), so the runner caches every completed
-//! run keyed by its full configuration. Independent configurations fan out
-//! across OS threads with `crossbeam::scope`.
+//! run keyed by a 128-bit structural fingerprint of its full configuration
+//! (hashing the serialized value tree — no JSON string is built per lookup).
+//! Independent configurations fan out across OS threads with
+//! `std::thread::scope`.
+//!
+//! `run` is **single-flight**: when several threads ask for the same
+//! uncached configuration concurrently, exactly one executes the simulation
+//! while the rest block on the in-flight slot and share its result.
 
 use ddbm_config::Config;
 use ddbm_core::{run_config, RunReport};
-use parking_lot::Mutex;
+use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: a 128-bit FNV-1a fingerprint of the config's serialized value
+/// tree. Collisions are astronomically unlikely (~10^-20 for a million
+/// distinct configs), and a colliding sweep would only reuse a report, not
+/// corrupt one.
+type Key = u128;
+
+/// One cache slot: either a finished report or an in-flight marker whose
+/// condvar followers wait on.
+enum Slot {
+    Done(RunReport),
+    InFlight(Arc<Flight>),
+}
+
+struct Flight {
+    result: Mutex<Option<RunReport>>,
+    ready: Condvar,
+}
 
 /// See module docs.
 pub struct Runner {
-    cache: Mutex<HashMap<String, RunReport>>,
+    cache: Mutex<HashMap<Key, Slot>>,
     threads: usize,
     completed: AtomicUsize,
     /// Print a short progress line per completed simulation.
@@ -38,16 +63,40 @@ impl Runner {
         }
     }
 
-    fn key(config: &Config) -> String {
-        serde_json::to_string(config).expect("config serializes")
+    fn key(config: &Config) -> Key {
+        let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        hash_value(&config.to_value(), &mut h);
+        h
     }
 
-    /// Run one configuration (memoized).
+    /// Run one configuration (memoized, single-flight).
     pub fn run(&self, config: &Config) -> RunReport {
         let key = Self::key(config);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return hit.clone();
-        }
+        let flight = {
+            let mut cache = self.cache.lock().unwrap();
+            match cache.get(&key) {
+                Some(Slot::Done(hit)) => return hit.clone(),
+                Some(Slot::InFlight(flight)) => {
+                    // Another thread is already running this config: wait for
+                    // its result instead of duplicating the simulation.
+                    let flight = Arc::clone(flight);
+                    drop(cache);
+                    let mut result = flight.result.lock().unwrap();
+                    while result.is_none() {
+                        result = flight.ready.wait(result).unwrap();
+                    }
+                    return result.clone().expect("flight completed");
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    cache.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                    flight
+                }
+            }
+        };
         let report = run_config(config.clone()).expect("config validated by caller");
         let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
         if self.verbose {
@@ -61,75 +110,95 @@ impl Runner {
                 report.mean_response_time,
             );
         }
-        self.cache.lock().insert(key, report.clone());
+        *self
+            .cache
+            .lock()
+            .unwrap()
+            .get_mut(&key)
+            .expect("slot exists") = Slot::Done(report.clone());
+        *flight.result.lock().unwrap() = Some(report.clone());
+        flight.ready.notify_all();
         report
     }
 
     /// Run many configurations in parallel (memoized); results come back in
-    /// input order.
+    /// input order. Duplicates within the batch are handled by `run`'s
+    /// single-flight cache, so no pre-deduplication is needed.
     pub fn run_all(&self, configs: &[Config]) -> Vec<RunReport> {
-        // Pre-filter cache hits so threads only take real work.
-        let mut results: Vec<Option<RunReport>> = {
-            let cache = self.cache.lock();
-            configs
-                .iter()
-                .map(|c| cache.get(&Self::key(c)).cloned())
-                .collect()
-        };
-        // Deduplicate identical configurations within the batch so each key
-        // runs exactly once; `followers` get a copy of their leader's result.
-        let mut todo: Vec<usize> = Vec::new();
-        let mut followers: Vec<(usize, usize)> = Vec::new(); // (index, leader slot)
-        {
-            let mut seen: HashMap<String, usize> = HashMap::new();
-            for i in 0..configs.len() {
-                if results[i].is_some() {
-                    continue;
-                }
-                match seen.entry(Self::key(&configs[i])) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        followers.push((i, *e.get()));
+        let slots: Vec<Mutex<Option<RunReport>>> =
+            configs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(configs.len()) {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= configs.len() {
+                        break;
                     }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(todo.len());
-                        todo.push(i);
-                    }
-                }
+                    let report = self.run(&configs[k]);
+                    *slots[k].lock().unwrap() = Some(report);
+                });
             }
-        }
-        if !todo.is_empty() {
-            let slots: Vec<Mutex<Option<RunReport>>> =
-                todo.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            crossbeam::scope(|scope| {
-                for _ in 0..self.threads.min(todo.len()) {
-                    scope.spawn(|_| loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= todo.len() {
-                            break;
-                        }
-                        let report = self.run(&configs[todo[k]]);
-                        *slots[k].lock() = Some(report);
-                    });
-                }
-            })
-            .expect("worker panicked");
-            for (i, leader) in followers {
-                results[i] = slots[leader].lock().clone();
-            }
-            for (k, &i) in todo.iter().enumerate() {
-                results[i] = slots[k].lock().take();
-            }
-        }
-        results
+        });
+        slots
             .into_iter()
-            .map(|r| r.expect("every slot filled"))
+            .map(|s| s.into_inner().unwrap().expect("every slot filled"))
             .collect()
     }
 
     /// Number of simulations actually executed (not cache hits).
     pub fn executed(&self) -> usize {
         self.completed.load(Ordering::Relaxed)
+    }
+}
+
+/// Streamed 128-bit FNV-1a over a serialized value tree. Kind tags keep
+/// different shapes with equal bytes distinct (e.g. `0u64` vs `false`).
+fn hash_value(v: &Value, h: &mut u128) {
+    fn eat(h: &mut u128, bytes: &[u8]) {
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        for b in bytes {
+            *h ^= *b as u128;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    match v {
+        Value::Null => eat(h, &[0]),
+        Value::Bool(b) => eat(h, &[1, *b as u8]),
+        Value::UInt(n) => {
+            eat(h, &[2]);
+            eat(h, &n.to_le_bytes());
+        }
+        Value::Int(n) => {
+            eat(h, &[3]);
+            eat(h, &n.to_le_bytes());
+        }
+        Value::Float(x) => {
+            eat(h, &[4]);
+            // Bit pattern, so -0.0 vs 0.0 and every NaN payload stay distinct.
+            eat(h, &x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            eat(h, &[5]);
+            eat(h, &(s.len() as u64).to_le_bytes());
+            eat(h, s.as_bytes());
+        }
+        Value::Array(items) => {
+            eat(h, &[6]);
+            eat(h, &(items.len() as u64).to_le_bytes());
+            for item in items {
+                hash_value(item, h);
+            }
+        }
+        Value::Object(fields) => {
+            eat(h, &[7]);
+            eat(h, &(fields.len() as u64).to_le_bytes());
+            for (k, fv) in fields {
+                eat(h, &(k.len() as u64).to_le_bytes());
+                eat(h, k.as_bytes());
+                hash_value(fv, h);
+            }
+        }
     }
 }
 
@@ -160,16 +229,25 @@ mod tests {
     }
 
     #[test]
+    fn keys_distinguish_configs() {
+        let base = quick_config(1.0);
+        let mut other = base.clone();
+        other.control.seed ^= 1;
+        assert_eq!(Runner::key(&base), Runner::key(&base.clone()));
+        assert_ne!(Runner::key(&base), Runner::key(&other));
+        let mut think = base.clone();
+        think.workload.think_time_secs += 0.5;
+        assert_ne!(Runner::key(&base), Runner::key(&think));
+    }
+
+    #[test]
     fn run_all_preserves_order_and_caches() {
         let r = Runner::new(4);
         let configs = vec![quick_config(0.0), quick_config(2.0), quick_config(0.0)];
         let reports = r.run_all(&configs);
         assert_eq!(reports.len(), 3);
         // Identical configs → identical (cached or deterministic) results.
-        assert_eq!(
-            reports[0].mean_response_time,
-            reports[2].mean_response_time
-        );
+        assert_eq!(reports[0].mean_response_time, reports[2].mean_response_time);
         assert!(r.executed() <= 2, "third run must hit the cache");
         // And matches a direct run.
         let direct = r.run(&quick_config(2.0));
@@ -187,5 +265,42 @@ mod tests {
             assert_eq!(x.mean_response_time, y.mean_response_time);
             assert_eq!(x.commits, y.commits);
         }
+    }
+
+    /// Regression test for the duplicate-execution race: many threads
+    /// requesting the same uncached config concurrently must execute the
+    /// simulation exactly once (single-flight), and all callers must agree
+    /// on the result.
+    #[test]
+    fn concurrent_same_config_runs_once() {
+        let r = Runner::new(8);
+        let config = quick_config(0.5);
+        let barrier = std::sync::Barrier::new(8);
+        let reports: Vec<RunReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Line all threads up on the uncached key at once.
+                        barrier.wait();
+                        r.run(&config)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            r.executed(),
+            1,
+            "single-flight must collapse concurrent identical runs"
+        );
+        for w in reports.windows(2) {
+            assert_eq!(w[0].mean_response_time, w[1].mean_response_time);
+            assert_eq!(w[0].commits, w[1].commits);
+        }
+        // And a run in a batch is also collapsed.
+        let batch = vec![config.clone(); 16];
+        let all = r.run_all(&batch);
+        assert_eq!(all.len(), 16);
+        assert_eq!(r.executed(), 1, "batch duplicates must hit the cache");
     }
 }

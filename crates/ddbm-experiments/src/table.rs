@@ -119,7 +119,9 @@ mod tests {
     #[test]
     fn table_contains_all_cells() {
         let t = fig().to_table();
-        for needle in ["fig99", "2PL", "NO_DC", "10.00", "0.1234", "250.0", "12.5", "-"] {
+        for needle in [
+            "fig99", "2PL", "NO_DC", "10.00", "0.1234", "250.0", "12.5", "-",
+        ] {
             assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
         }
     }

@@ -32,7 +32,12 @@ fn all_figures_build_and_are_well_formed() {
         // The table renderer must not panic and must include every series.
         let table = fig.to_table();
         for s in &fig.series {
-            assert!(table.contains(&s.name), "{} table missing {}", fig.id, s.name);
+            assert!(
+                table.contains(&s.name),
+                "{} table missing {}",
+                fig.id,
+                s.name
+            );
         }
     }
 

@@ -12,7 +12,7 @@
 //! The implementation is a classic O(1) LRU: a hash map into an intrusive
 //! doubly-linked list kept in a slab, no allocation after construction.
 
-use std::collections::HashMap;
+use denet::FxHashMap;
 use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
@@ -27,7 +27,7 @@ struct Entry<K> {
 /// A fixed-capacity LRU set. See module docs.
 #[derive(Debug)]
 pub struct LruPool<K> {
-    map: HashMap<K, usize>,
+    map: FxHashMap<K, usize>,
     slab: Vec<Entry<K>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -42,7 +42,7 @@ impl<K: Eq + Hash + Clone> LruPool<K> {
     /// means "buffering disabled": every lookup misses, inserts are no-ops.
     pub fn new(capacity: usize) -> LruPool<K> {
         LruPool {
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,
@@ -253,7 +253,10 @@ mod tests {
         for round in 0..3 {
             for k in 0..20u64 {
                 let hit = p.probe(&k);
-                assert!(!hit, "round {round}, key {k}: LRU must thrash on a cyclic scan");
+                assert!(
+                    !hit,
+                    "round {round}, key {k}: LRU must thrash on a cyclic scan"
+                );
                 p.insert(k);
             }
         }

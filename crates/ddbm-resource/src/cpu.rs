@@ -95,9 +95,20 @@ impl<T> Cpu<T> {
 
     /// Apply progress from the last interaction up to `now` and return the
     /// tags of all jobs that completed, in completion order.
+    ///
+    /// Allocates a fresh `Vec`; the simulator's hot path uses
+    /// [`advance_into`](Self::advance_into) with a reused scratch buffer.
     pub fn advance(&mut self, now: SimTime) -> Vec<T> {
-        debug_assert!(now >= self.last, "CPU advanced backwards");
         let mut done = Vec::new();
+        self.advance_into(now, &mut done);
+        done
+    }
+
+    /// Like [`advance`](Self::advance), but appends the completed tags to
+    /// `done` instead of allocating. Completion order is identical.
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<T>) {
+        debug_assert!(now >= self.last, "CPU advanced backwards");
+        let already = done.len();
         let mut t = self.last; // current position within (last, now]
         while t < now {
             if let Some(head) = self.messages.front() {
@@ -160,10 +171,9 @@ impl<T> Cpu<T> {
         } else {
             self.busy.set_busy(now, true);
         }
-        if !done.is_empty() {
+        if done.len() > already {
             self.epoch += 1;
         }
-        done
     }
 
     /// Submit an ordinary (processor-shared) job of `instructions`.
@@ -334,7 +344,9 @@ mod tests {
         assert!(cpu.submit_shared(SimTime::ZERO, 1, 2_000.0).is_none());
         // At 1 ms, half done; a 1K message arrives and takes the CPU.
         assert_eq!(cpu.advance(SimTime(1_000_000)), Vec::<u32>::new());
-        assert!(cpu.submit_message(SimTime(1_000_000), 100, 1_000.0).is_none());
+        assert!(cpu
+            .submit_message(SimTime(1_000_000), 100, 1_000.0)
+            .is_none());
         // Message completes at 2 ms; shared job then needs its last 1K → 3 ms.
         let t = cpu.next_completion().unwrap();
         assert_eq!(t, SimTime(2_000_000));

@@ -75,6 +75,13 @@ impl<T> Disk<T> {
     /// of completed requests in completion order.
     pub fn advance(&mut self, now: SimTime) -> Vec<T> {
         let mut done = Vec::new();
+        self.advance_into(now, &mut done);
+        done
+    }
+
+    /// Like [`advance`](Self::advance), but appends the completed tags to
+    /// `done` instead of allocating. Completion order is identical.
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<T>) {
         while let Some(cur) = &self.current {
             if cur.done_at > now {
                 break;
@@ -83,7 +90,6 @@ impl<T> Disk<T> {
             done.push(finished.tag);
             self.try_start(finished.done_at);
         }
-        done
     }
 
     /// When the in-service request completes, if any.
@@ -174,10 +180,16 @@ impl<T> DiskArray<T> {
     /// order, which is deterministic.
     pub fn advance(&mut self, now: SimTime) -> Vec<T> {
         let mut done = Vec::new();
-        for d in &mut self.disks {
-            done.extend(d.advance(now));
-        }
+        self.advance_into(now, &mut done);
         done
+    }
+
+    /// Like [`advance`](Self::advance), but appends into `done` instead of
+    /// allocating. Completion order is identical ((disk-index, FIFO)).
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<T>) {
+        for d in &mut self.disks {
+            d.advance_into(now, done);
+        }
     }
 
     /// The earliest in-service completion across all disks.
@@ -235,7 +247,7 @@ mod tests {
         d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10)); // starts
         d.submit(SimTime::ZERO, 2, false, SimDuration::from_millis(10)); // queued read
         d.submit(SimTime::ZERO, 3, true, SimDuration::from_millis(10)); // queued write
-        // In-service read is not preempted; then the write, then the read.
+                                                                        // In-service read is not preempted; then the write, then the read.
         assert_eq!(d.advance(SimTime(30 * MS)), vec![1, 3, 2]);
     }
 
@@ -306,7 +318,13 @@ mod tests {
     fn queue_lengths() {
         let mut a: DiskArray<u32> = DiskArray::new(2);
         for i in 0..6 {
-            a.submit(SimTime::ZERO, 0, i, i % 2 == 0, SimDuration::from_millis(10));
+            a.submit(
+                SimTime::ZERO,
+                0,
+                i,
+                i % 2 == 0,
+                SimDuration::from_millis(10),
+            );
         }
         // One in service, five queued on disk 0.
         assert_eq!(a.total_queue_len(), 5);

@@ -17,11 +17,13 @@
 //! calendar directly, which keeps the hot event loop free of dynamic dispatch.
 
 pub mod calendar;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use calendar::EventCalendar;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::{BatchMeans, BusyTracker, RateCounter, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

@@ -45,7 +45,10 @@ fn main() {
     }
 
     println!("\n=== 2PL-T timeout sensitivity ===\n");
-    println!("{:>12} {:>10} {:>14}", "timeout (s)", "txn/s", "aborts/commit");
+    println!(
+        "{:>12} {:>10} {:>14}",
+        "timeout (s)", "txn/s", "aborts/commit"
+    );
     for timeout in [0.25, 1.0, 5.0, 20.0] {
         let mut config = Config::paper(Algorithm::TwoPhaseLockingTimeout, 8, 8, think);
         config.system.lock_timeout = SimDuration::from_secs_f64(timeout);

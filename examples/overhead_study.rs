@@ -13,13 +13,7 @@
 use ddbm::config::{Algorithm, Config};
 use ddbm::core::run_config;
 
-fn response_time(
-    algo: Algorithm,
-    degree: usize,
-    startup: u64,
-    msg: u64,
-    think: f64,
-) -> f64 {
+fn response_time(algo: Algorithm, degree: usize, startup: u64, msg: u64, think: f64) -> f64 {
     let mut config = Config::overheads(algo, degree, startup, msg, think);
     config.control.warmup_commits = 200;
     config.control.measure_commits = 1_200;

@@ -24,18 +24,13 @@ fn run_point(algo: Algorithm, degree: usize, think: f64) -> f64 {
 fn main() {
     let degrees = [1usize, 2, 4, 8];
     for think in [0.0, 8.0] {
-        println!(
-            "\n=== mean think time {think} s (8 nodes, small database) ===\n"
-        );
+        println!("\n=== mean think time {think} s (8 nodes, small database) ===\n");
         println!(
             "{:<6} {:>12} {:>12} {:>12} {:>12} {:>14}",
             "algo", "1-way (s)", "2-way (s)", "4-way (s)", "8-way (s)", "speedup 8v1"
         );
         for algo in Algorithm::ALL {
-            let rts: Vec<f64> = degrees
-                .iter()
-                .map(|d| run_point(algo, *d, think))
-                .collect();
+            let rts: Vec<f64> = degrees.iter().map(|d| run_point(algo, *d, think)).collect();
             println!(
                 "{:<6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>13.2}x",
                 algo.label(),

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the Criterion bench suites (components + figures) and print a
+# per-bench `ns/iter` snapshot as a JSON object on stdout.
+#
+# BENCH_core.json at the repo root is produced from two such snapshots
+# (a "before" and an "after" tree state); see EXPERIMENTS.md §Benchmarks.
+#
+# Usage:
+#   scripts/bench_core.sh [bench-name-filter ...] > snapshot.json
+#
+# Criterion's human-readable progress goes to stderr; only JSON reaches
+# stdout. Extra arguments are passed through as substring filters on bench
+# names (e.g. `scripts/bench_core.sh simulation_240_commits`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_JSON="$raw" cargo bench --offline -p bench -- "$@" >&2
+
+python3 - "$raw" <<'EOF'
+import json, sys
+out = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line:
+        rec = json.loads(line)
+        out[rec["name"]] = rec["ns_per_iter"]
+print(json.dumps(out, indent=2, sort_keys=True))
+EOF

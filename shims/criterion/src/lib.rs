@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! criterion API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) backed by a simple wall-clock
+//! harness:
+//!
+//! - each bench runs a short warmup, then `sample_size` samples of enough
+//!   iterations to make a sample meaningful, and reports the **median**
+//!   sample in ns/iter (the median is robust to scheduler noise);
+//! - positional CLI args act as substring filters, like criterion's;
+//!   `--bench`/`--test` and other harness flags are accepted and ignored;
+//! - setting `CRITERION_JSON=<path>` appends one JSON line per bench:
+//!   `{"name": …, "ns_per_iter": …, "samples": …, "iters_per_sample": …}` —
+//!   this is how `scripts/bench_snapshot.sh` builds `BENCH_core.json`.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each bench (after warmup).
+const TARGET_MEASURE: Duration = Duration::from_secs(3);
+/// Minimum time one sample should take, so `Instant` overhead vanishes.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+pub struct Criterion {
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Cargo's harness handshake and criterion flags we ignore.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" | "--noplot" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                filter => filters.push(filter.to_string()),
+            }
+        }
+        Criterion {
+            filters,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.default_sample_size, &self.filters, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let n = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        run_bench(&full, n, &self.parent.filters, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+pub struct Bencher {
+    /// Iterations to run per sample (set by the harness).
+    iters: u64,
+    /// Measured duration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, filters: &[String], mut f: F) {
+    if !filters.is_empty() && !filters.iter().any(|pat| name.contains(pat.as_str())) {
+        return;
+    }
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warmup & calibration: run single iterations until one sample's cost is
+    // known, then size samples to at least MIN_SAMPLE each.
+    f(&mut b);
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (MIN_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+    // Cap total measurement time: shrink the sample count (not below 5) if
+    // one sample is already expensive (e.g. whole-simulation benches).
+    let sample_cost = per_iter * iters_per_sample as u32;
+    let affordable = (TARGET_MEASURE.as_nanos() / sample_cost.as_nanos().max(1)).max(5) as usize;
+    let samples = sample_size.min(affordable).max(5);
+
+    b.iters = iters_per_sample;
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    println!(
+        "bench {name:<60} {median:>14.1} ns/iter ({samples} samples x {iters_per_sample} iters)"
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\":{:?},\"ns_per_iter\":{median:.1},\"samples\":{samples},\"iters_per_sample\":{iters_per_sample}}}",
+                name
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("2PL").0, "2PL");
+    }
+
+    #[test]
+    fn harness_measures_something_sane() {
+        // A ~1µs busy loop should measure within an order of magnitude.
+        let mut c = Criterion {
+            filters: vec![],
+            default_sample_size: 10,
+        };
+        c.bench_function("selftest/spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..200u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+
+    #[test]
+    fn filters_skip_mismatches() {
+        let mut ran = false;
+        run_bench("group/name", 5, &["other".to_string()], |_b| ran = true);
+        assert!(!ran);
+        run_bench("group/name", 5, &["nam".to_string()], |b| {
+            ran = true;
+            b.iter(|| 1u64)
+        });
+        assert!(ran);
+    }
+}

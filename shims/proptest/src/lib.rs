@@ -1,0 +1,547 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of proptest this workspace's property tests use: the
+//! [`Strategy`] trait (ranges, tuples, `prop_map`, [`Just`], weighted
+//! [`prop_oneof!`], `prop::collection::vec`, `prop::sample::select`,
+//! `prop::bool::ANY`, [`any`]), the [`proptest!`] macro, and
+//! [`ProptestConfig`] case counts.
+//!
+//! Differences from the real crate, chosen deliberately:
+//! - **no shrinking** — a failing case prints its input and panics as-is;
+//! - **fixed seeding** — cases derive from a per-test seed, so runs are
+//!   fully reproducible (`.proptest-regressions` files are ignored);
+//! - plain uniform sampling, without proptest's edge-case biasing.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Deterministic split-mix PRNG driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 (Steele et al.) — tiny, uniform, and plenty for tests.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-strategy fidelity.
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies (`prop_oneof!` backing type).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // Uniform on the closed interval; hitting the exact endpoint is
+        // measure-zero anyway, so reuse the half-open sampler.
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S1 / v1);
+impl_tuple_strategy!(S1 / v1, S2 / v2);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+impl_tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8,
+    S9 / v9
+);
+impl_tuple_strategy!(
+    S1 / v1,
+    S2 / v2,
+    S3 / v3,
+    S4 / v4,
+    S5 / v5,
+    S6 / v6,
+    S7 / v7,
+    S8 / v8,
+    S9 / v9,
+    S10 / v10
+);
+
+/// Types with a canonical "anything" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    type Strat: Strategy<Value = Self>;
+    fn any_strategy() -> Self::Strat;
+}
+
+/// The full-range strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strat {
+    T::any_strategy()
+}
+
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strat = FullRange<$t>;
+            fn any_strategy() -> Self::Strat {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strat = crate::bool::BoolStrategy;
+    fn any_strategy() -> Self::Strat {
+        crate::bool::ANY
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub const ANY: BoolStrategy = BoolStrategy;
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.lo < size.hi, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T>(Vec<T>);
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property: samples `config.cases` inputs and runs the body on
+/// each, printing the offending input before propagating any panic.
+pub fn run_cases<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value),
+{
+    // Stable per-test seed: runs are reproducible across invocations.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = TestRng::new(h);
+    for case in 0..config.cases {
+        let input = strategy.sample(&mut rng);
+        let shown = format!("{input:#?}");
+        match catch_unwind(AssertUnwindSafe(|| body(input))) {
+            Ok(()) => {}
+            Err(panic) => {
+                eprintln!(
+                    "proptest shim: `{test_name}` failed at case {case}/{} with input:\n{shown}",
+                    config.cases
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $(($w as u32, $crate::Strategy::boxed($s))),+ ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $((1u32, $crate::Strategy::boxed($s))),+ ])
+    };
+}
+
+/// The `proptest!` block macro: each `fn name(arg in strategy, …) { body }`
+/// becomes a plain `#[test]` (the attribute is written by the caller, as
+/// with the real crate) that samples and runs `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ( $($strat,)+ );
+            $crate::run_cases(stringify!($name), &config, &strategy, |($($arg,)+)| $body);
+        }
+    )*};
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let x = crate::Strategy::sample(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let y = crate::Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&y));
+            let f = crate::Strategy::sample(&(0.25f64..=0.75), &mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let strat = prop::collection::vec((0u64..100, any::<bool>()), 1..20);
+        let a: Vec<_> = {
+            let mut rng = crate::TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let strat = prop_oneof![
+            3 => Just(1u32),
+            1 => 10u32..12,
+        ];
+        let mut rng = crate::TestRng::new(1);
+        let mut saw_one = false;
+        let mut saw_range = false;
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                1 => saw_one = true,
+                10 | 11 => saw_range = true,
+                other => panic!("impossible sample {other}"),
+            }
+        }
+        assert!(saw_one && saw_range);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(xs in prop::collection::vec(0u64..50, 1..10), flip in prop::bool::ANY) {
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn failing_property_panics() {
+        crate::run_cases(
+            "failing_property_panics",
+            &ProptestConfig::with_cases(50),
+            &((0u64..10),),
+            |(x,)| assert!(x < 5),
+        );
+    }
+}

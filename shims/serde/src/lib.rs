@@ -1,0 +1,379 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! minimal serde replacement. Instead of the real serde's visitor-based
+//! zero-copy model, everything funnels through an owned [`Value`] tree —
+//! more allocation-happy, but configs and reports are tiny and only touched
+//! at experiment boundaries, never on the simulation hot path.
+//!
+//! Semantics intentionally mirror the real `serde`/`serde_json` pair where
+//! the workspace depends on them:
+//! - non-finite floats serialize to [`Value::Null`] (like serde_json) and
+//!   `Null` does **not** deserialize back into `f64`;
+//! - missing fields error unless the field is `#[serde(default)]` or an
+//!   `Option` (which becomes `None`);
+//! - unit enum variants are strings named after the variant.
+
+// Let the `::serde::` paths emitted by the derive macros resolve inside
+// this crate's own tests (same trick the real serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree: the serialization data model.
+///
+/// Object fields keep insertion order (like serde_json's `preserve_order`),
+/// which keeps serialized output stable and deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers (the common case for this workspace's ids/counts).
+    UInt(u64),
+    /// Negative integers.
+    Int(i64),
+    /// Finite floats only; non-finite values become `Null` at serialize time.
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called by derived impls when a field is missing from the input map.
+    /// Overridden by `Option<T>` to yield `None`, matching real serde.
+    fn absent() -> Result<Self, DeError> {
+        Err(DeError("missing field".into()))
+    }
+}
+
+/// Derive-support: locate a field in an object by name.
+pub fn find_field<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Derive-support: produce the value for a missing field (errors unless the
+/// target type, like `Option`, tolerates absence).
+pub fn absent_field<T: Deserialize>(type_name: &str, field: &str) -> Result<T, DeError> {
+    T::absent().map_err(|_| DeError(format!("missing field `{field}` in {type_name}")))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            // serde_json serializes NaN/inf as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn nan_serializes_to_null_and_rejects_f64() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn option_handles_null_and_absence() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::absent().unwrap(), None);
+        assert!(u64::absent().is_err());
+    }
+
+    #[test]
+    fn ints_range_check() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Demo {
+        a: u64,
+        #[serde(default)]
+        b: f64,
+        c: Option<u32>,
+        tag: Tag,
+        wrap: Wrap,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Tag {
+        Red,
+        Blue,
+    }
+
+    #[test]
+    fn derive_round_trip() {
+        let d = Demo {
+            a: 9,
+            b: 2.25,
+            c: Some(3),
+            tag: Tag::Blue,
+            wrap: Wrap(11),
+        };
+        let v = d.to_value();
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn derive_default_and_option_absence() {
+        // Drop `b` (defaulted) and `c` (Option) from the object.
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("tag".into(), Value::Str("Red".into())),
+            ("wrap".into(), Value::UInt(5)),
+        ]);
+        let d = Demo::from_value(&v).unwrap();
+        assert_eq!(d.b, 0.0);
+        assert_eq!(d.c, None);
+        // Dropping a required field errors.
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        let err = Demo::from_value(&v).unwrap_err();
+        assert!(err.0.contains("missing field"), "{err}");
+    }
+}

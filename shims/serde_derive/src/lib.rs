@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no crates.io access, so the real `serde` stack is
+//! replaced by in-tree shims (see `crates/shims/serde`). This proc-macro
+//! implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for exactly
+//! the shapes this workspace uses:
+//!
+//! - structs with named fields (honoring `#[serde(default)]`),
+//! - single-field tuple ("newtype") structs,
+//! - fieldless enums (unit variants serialize as their name).
+//!
+//! Anything else (generics, data-carrying enum variants, renames) is a
+//! compile error with a pointed message rather than silent misbehavior.
+//! Parsing is done directly over `proc_macro::TokenStream` — no `syn`/`quote`
+//! — and the generated impl is assembled as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// One named field: `(name, has_serde_default)`.
+type Field = (String, bool);
+
+enum Shape {
+    Named { name: String, fields: Vec<Field> },
+    Newtype { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Named { name, fields } => {
+            let mut pushes = String::new();
+            for (f, _) in fields {
+                let _ = writeln!(
+                    pushes,
+                    "fields.push((::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::with_capacity({n});\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n}}\n}}\n",
+                n = fields.len(),
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                );
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for (f, has_default) in fields {
+                if *has_default {
+                    let _ = writeln!(
+                        inits,
+                        "{f}: match ::serde::find_field(obj, {f:?}) {{\n\
+                         Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                         None => ::std::default::Default::default(),\n}},"
+                    );
+                } else {
+                    let _ = writeln!(
+                        inits,
+                        "{f}: match ::serde::find_field(obj, {f:?}) {{\n\
+                         Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                         None => ::serde::absent_field({name:?}, {f:?})?,\n}},"
+                    );
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"struct {name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n}}\n}}\n"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let _ = writeln!(arms, "{v:?} => ::std::result::Result::Ok({name}::{v}),");
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v.as_str() {{\n\
+                 Some(s) => match s {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", v)),\n}},\n\
+                 None => ::std::result::Result::Err(::serde::DeError::expected(\"string variant of {name}\", v)),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                fields: parse_named_fields(&name, g.stream()),
+                name,
+            },
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_items(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde_derive shim: tuple struct `{name}` has {n} fields; \
+                         only single-field newtypes are supported"
+                    );
+                }
+                Shape::Newtype { name }
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other}"),
+        },
+        "enum" => match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Shape::UnitEnum {
+                variants: parse_unit_variants(&name, g.stream()),
+                name,
+            },
+            other => panic!("serde_derive shim: unsupported enum body for `{name}`: {other}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip outer attributes (`#[...]`), including doc comments.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // `#` + bracket group
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`, etc.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// `true` if this attr group is exactly a `#[serde(...)]` list containing
+/// the word `default`. Any other serde attribute is rejected loudly.
+fn serde_attr_is_default(type_name: &str, g: &proc_macro::Group) -> Option<bool> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None, // not a serde attr (e.g. doc, derive on nested item)
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        panic!("serde_derive shim: malformed #[serde] attribute on `{type_name}`");
+    };
+    let words: Vec<String> = args
+        .stream()
+        .into_iter()
+        .filter_map(|t| match t {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        })
+        .collect();
+    if words == ["default"] {
+        Some(true)
+    } else {
+        panic!(
+            "serde_derive shim: unsupported serde attribute #[serde({words:?})] on `{type_name}` \
+             (only #[serde(default)] is implemented)"
+        );
+    }
+}
+
+fn parse_named_fields(type_name: &str, body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Attributes (doc comments, #[serde(default)]).
+        let mut has_default = false;
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                if serde_attr_is_default(type_name, g) == Some(true) {
+                    has_default = true;
+                }
+            }
+            i += 2;
+        }
+        skip_vis(&toks, &mut i);
+        let fname = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                panic!("serde_derive shim: expected field name in `{type_name}`, got {other}")
+            }
+        };
+        i += 1;
+        assert!(
+            matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{fname}` in `{type_name}`"
+        );
+        i += 1;
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or off the end)
+        fields.push((fname, has_default));
+    }
+    fields
+}
+
+fn parse_unit_variants(type_name: &str, body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let v = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                panic!("serde_derive shim: expected variant name in `{type_name}`, got {other}")
+            }
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => panic!(
+                "serde_derive shim: enum `{type_name}` variant `{v}` carries data ({other}); \
+                 only fieldless enums are supported"
+            ),
+        }
+        variants.push(v);
+    }
+    variants
+}
+
+fn count_top_level_items(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle: i32 = 0;
+    let len = toks.len();
+    for (idx, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // A trailing comma does not start a new item.
+                ',' if angle == 0 && idx + 1 < len => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}

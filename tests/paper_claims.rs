@@ -160,8 +160,18 @@ fn partitioning_speeds_up_light_load_for_all_algorithms() {
 /// 64 accesses serially on one node).
 #[test]
 fn blocking_time_shrinks_with_partitioning() {
-    let one_way = run(Config::partitioning(Algorithm::TwoPhaseLocking, 1, false, 12.0));
-    let eight_way = run(Config::partitioning(Algorithm::TwoPhaseLocking, 8, false, 12.0));
+    let one_way = run(Config::partitioning(
+        Algorithm::TwoPhaseLocking,
+        1,
+        false,
+        12.0,
+    ));
+    let eight_way = run(Config::partitioning(
+        Algorithm::TwoPhaseLocking,
+        8,
+        false,
+        12.0,
+    ));
     assert!(
         one_way.mean_blocking_time > eight_way.mean_blocking_time,
         "1-way blocking {:.3}s must exceed 8-way blocking {:.3}s",
