@@ -64,6 +64,40 @@ fn calendar(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    // The exact-scheduling pattern: most scheduled completions are
+    // superseded and withdrawn before they fire. Two of every three
+    // keyed events are cancelled and replaced, mimicking the simulator
+    // re-predicting a node's next CPU completion on every state change.
+    c.bench_function("calendar/cancel_heavy", |b| {
+        b.iter(|| {
+            let mut cal = EventCalendar::new();
+            let mut rng = SimRng::from_seed(3);
+            // One live keyed event per slot, like one pending completion
+            // prediction per simulated node.
+            let mut pending: Vec<_> = (0..256u64)
+                .map(|i| cal.schedule_keyed(SimTime(rng.uniform_u64(1, 1_000)), i))
+                .collect();
+            let mut sum = 0u64;
+            for i in 0..50_000u64 {
+                if i % 3 == 0 {
+                    // A prediction comes true: fire it, schedule the next.
+                    let (t, e) = cal.pop().expect("kept non-empty");
+                    sum = sum.wrapping_add(e);
+                    let at = t + SimDuration(rng.uniform_u64(1, 1_000));
+                    pending[e as usize] = cal.schedule_keyed(at, e);
+                } else {
+                    // A prediction is superseded: withdraw and replace it.
+                    let k = rng.index(pending.len());
+                    let at = cal.now() + SimDuration(rng.uniform_u64(1, 1_000));
+                    let fresh = cal.schedule_keyed(at, k as u64);
+                    let stale = std::mem::replace(&mut pending[k], fresh);
+                    let withdrawn = cal.cancel(stale);
+                    debug_assert!(withdrawn);
+                }
+            }
+            black_box(sum)
+        })
+    });
 }
 
 fn lock_table(c: &mut Criterion) {
@@ -133,6 +167,37 @@ fn cpu_model(c: &mut Criterion) {
                 }
                 now += SimDuration::from_micros(200);
                 done += cpu.advance(now).len();
+            }
+            while let Some(t) = cpu.next_completion() {
+                done += cpu.advance(t).len();
+            }
+            black_box(done)
+        })
+    });
+    // The virtual-time fast path: a deep shared class (~64 concurrent jobs)
+    // with every advance landing exactly on a predicted completion, plus a
+    // periodic cancellation sweep. The old implementation rescanned all
+    // shared jobs per interaction, making this quadratic in the job count;
+    // fluid accounting makes each step O(log n).
+    c.bench_function("cpu/virtual_time_churn", |b| {
+        b.iter(|| {
+            let mut cpu: Cpu<u64> = Cpu::new(1e7);
+            let mut now = SimTime::ZERO;
+            let mut done = 0usize;
+            for i in 0..64u64 {
+                done += usize::from(cpu.submit_shared(now, i, 500.0 + (i % 13) as f64).is_some());
+            }
+            for i in 64..5_000u64 {
+                // Ties in the finish tags complete in batches, so the CPU
+                // can briefly drain; refill from wherever the clock stands.
+                if let Some(t) = cpu.next_completion() {
+                    done += cpu.advance(t).len();
+                    now = t;
+                }
+                done += usize::from(cpu.submit_shared(now, i, 500.0 + (i % 13) as f64).is_some());
+                if i % 50 == 0 {
+                    done += cpu.cancel_shared_where(|tag| tag % 17 == 3).len();
+                }
             }
             while let Some(t) = cpu.next_completion() {
                 done += cpu.advance(t).len();

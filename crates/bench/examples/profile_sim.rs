@@ -1,0 +1,34 @@
+//! Profiling driver: run the `simulation_240_commits` workload in a loop so
+//! a sampling profiler (e.g. `gprofng collect app`) has something to chew on.
+//!
+//! ```text
+//! cargo build --release -p bench --examples
+//! gprofng collect app -o /tmp/sim.er target/release/examples/profile_sim 2PL 20
+//! gprofng display text -functions /tmp/sim.er | head -40
+//! ```
+
+use ddbm_config::{Algorithm, Config};
+use ddbm_core::run_config;
+use std::hint::black_box;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let algo = match args.next().as_deref() {
+        Some("2PL") | None => Algorithm::TwoPhaseLocking,
+        Some("BTO") => Algorithm::BasicTimestampOrdering,
+        Some("OPT") => Algorithm::Optimistic,
+        Some("WW") => Algorithm::WoundWait,
+        Some("NO_DC") => Algorithm::NoDataContention,
+        Some(other) => panic!("unknown algorithm {other}"),
+    };
+    let iters: u32 = args.next().map_or(10, |s| s.parse().expect("iter count"));
+    let mut config = Config::paper(algo, 8, 8, 4.0);
+    config.control.warmup_commits = 40;
+    config.control.measure_commits = 200;
+    let mut commits = 0;
+    for _ in 0..iters {
+        let r = run_config(black_box(config.clone())).expect("valid");
+        commits += r.commits;
+    }
+    println!("{commits} commits total");
+}

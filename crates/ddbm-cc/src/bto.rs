@@ -35,7 +35,9 @@ struct PageState {
 
 impl PageState {
     fn min_pending_below(&self, ts: Ts) -> bool {
-        self.pending_writes.iter().any(|(w, _)| *w < ts)
+        // `pending_writes` is kept sorted by timestamp, so the smallest is
+        // the front.
+        self.pending_writes.first().is_some_and(|(w, _)| *w < ts)
     }
 }
 
@@ -47,6 +49,13 @@ pub struct BasicTimestampOrdering {
     txn_writes: FxHashMap<TxnId, Vec<(PageId, Ts)>>,
     /// Pages each transaction has a blocked read on.
     txn_blocked: FxHashMap<TxnId, Vec<PageId>>,
+    /// Recycled backing stores for the per-transaction lists above — every
+    /// commit/abort removes its transaction's lists, and without pooling that
+    /// is an allocate/free pair per transaction on the hot path.
+    write_list_pool: Vec<Vec<(PageId, Ts)>>,
+    page_list_pool: Vec<Vec<PageId>>,
+    /// Scratch for the pages a finishing transaction touched.
+    touched_scratch: Vec<PageId>,
 }
 
 impl BasicTimestampOrdering {
@@ -68,11 +77,11 @@ impl BasicTimestampOrdering {
                 // A larger-timestamped write committed while the read was
                 // blocked: the read is now out of order and must abort.
                 state.blocked_reads.remove(i);
-                remove_blocked_entry(&mut self.txn_blocked, r_txn, page);
+                remove_blocked_entry(&mut self.txn_blocked, &mut self.page_list_pool, r_txn, page);
                 out.rejected.push((r_txn, page));
             } else if !state.min_pending_below(r_ts) {
                 state.blocked_reads.remove(i);
-                remove_blocked_entry(&mut self.txn_blocked, r_txn, page);
+                remove_blocked_entry(&mut self.txn_blocked, &mut self.page_list_pool, r_txn, page);
                 state.rts = state.rts.max(r_ts);
                 out.granted.push((r_txn, page));
             } else {
@@ -85,9 +94,10 @@ impl BasicTimestampOrdering {
 
     fn finish(&mut self, txn: TxnId, install: bool) -> ReleaseResponse {
         let mut out = ReleaseResponse::default();
-        let mut touched: Vec<PageId> = Vec::new();
-        if let Some(writes) = self.txn_writes.remove(&txn) {
-            for (page, w_ts) in writes {
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
+        if let Some(mut writes) = self.txn_writes.remove(&txn) {
+            for (page, w_ts) in writes.drain(..) {
                 if let Some(state) = self.pages.get_mut(&page) {
                     state.pending_writes.retain(|(_, t)| *t != txn);
                     if install && w_ts > state.wts {
@@ -98,26 +108,36 @@ impl BasicTimestampOrdering {
                     touched.push(page);
                 }
             }
+            self.write_list_pool.push(writes);
         }
-        if let Some(blocked) = self.txn_blocked.remove(&txn) {
-            for page in blocked {
+        if let Some(mut blocked) = self.txn_blocked.remove(&txn) {
+            for page in blocked.drain(..) {
                 if let Some(state) = self.pages.get_mut(&page) {
                     state.blocked_reads.retain(|(_, t)| *t != txn);
                 }
             }
+            self.page_list_pool.push(blocked);
         }
-        for page in touched {
+        for page in touched.drain(..) {
             self.wake_reads(page, &mut out);
         }
+        self.touched_scratch = touched;
         out
     }
 }
 
-fn remove_blocked_entry(txn_blocked: &mut FxHashMap<TxnId, Vec<PageId>>, txn: TxnId, page: PageId) {
+fn remove_blocked_entry(
+    txn_blocked: &mut FxHashMap<TxnId, Vec<PageId>>,
+    pool: &mut Vec<Vec<PageId>>,
+    txn: TxnId,
+    page: PageId,
+) {
     if let Some(v) = txn_blocked.get_mut(&txn) {
         v.retain(|p| *p != page);
         if v.is_empty() {
-            txn_blocked.remove(&txn);
+            if let Some(empty) = txn_blocked.remove(&txn) {
+                pool.push(empty);
+            }
         }
     }
 }
@@ -139,7 +159,11 @@ impl CcManager for BasicTimestampOrdering {
             }
             let pos = state.pending_writes.partition_point(|(w, _)| *w < ts);
             state.pending_writes.insert(pos, (ts, txn.id));
-            self.txn_writes.entry(txn.id).or_default().push((page, ts));
+            let pool = &mut self.write_list_pool;
+            self.txn_writes
+                .entry(txn.id)
+                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .push((page, ts));
             AccessResponse::granted()
         } else {
             if ts < state.wts {
@@ -148,7 +172,11 @@ impl CcManager for BasicTimestampOrdering {
             }
             if state.min_pending_below(ts) {
                 state.blocked_reads.push((ts, txn.id));
-                self.txn_blocked.entry(txn.id).or_default().push(page);
+                let pool = &mut self.page_list_pool;
+                self.txn_blocked
+                    .entry(txn.id)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .push(page);
                 return AccessResponse::blocked();
             }
             state.rts = state.rts.max(ts);

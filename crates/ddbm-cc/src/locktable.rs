@@ -79,6 +79,14 @@ pub struct LockTable {
     /// queued writers). Barging trades writer latency for fewer waits —
     /// and, in distributed 2PL, far fewer queue-edge deadlocks.
     barging: bool,
+    /// Retired [`PageLock`] shells (emptied, capacity retained). Page
+    /// entries churn constantly — created on first touch, removed when the
+    /// last lock drops — and recycling their holder/queue buffers keeps the
+    /// request path off the allocator.
+    lock_pool: Vec<PageLock>,
+    /// Retired per-transaction page-list buffers for `held`/`waiting`,
+    /// recycled for the same reason.
+    list_pool: Vec<Vec<PageId>>,
 }
 
 impl LockTable {
@@ -101,7 +109,11 @@ impl LockTable {
     /// `Granted` (upgrading read → write when needed, possibly by queueing an
     /// upgrade request, in which case `Queued` is returned).
     pub fn request(&mut self, txn: TxnId, page: PageId, mode: LockMode) -> LockOutcome {
-        let lock = self.pages.entry(page).or_default();
+        let lock_pool = &mut self.lock_pool;
+        let lock = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| lock_pool.pop().unwrap_or_default());
         // Re-requesting while already queued is idempotent (strengthening a
         // queued read to a write upgrades the queued request in place).
         if let Some(queued) = lock.queue.iter_mut().find(|w| w.txn == txn) {
@@ -136,7 +148,11 @@ impl LockTable {
         if grantable {
             lock.grant(req);
             if !req.is_upgrade {
-                self.held.entry(txn).or_default().push(page);
+                let list_pool = &mut self.list_pool;
+                self.held
+                    .entry(txn)
+                    .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                    .push(page);
             }
             LockOutcome::Granted
         } else {
@@ -148,7 +164,11 @@ impl LockTable {
                 lock.queue.push_back(req);
             }
             self.queued.insert(page);
-            self.waiting.entry(txn).or_default().push(page);
+            let list_pool = &mut self.list_pool;
+            self.waiting
+                .entry(txn)
+                .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                .push(page);
             LockOutcome::Queued
         }
     }
@@ -157,21 +177,23 @@ impl LockTable {
     /// granted as a consequence, in grant order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, PageId)> {
         let mut touched: Vec<PageId> = Vec::new();
-        if let Some(pages) = self.held.remove(&txn) {
-            for page in pages {
+        if let Some(mut pages) = self.held.remove(&txn) {
+            for page in pages.drain(..) {
                 if let Some(lock) = self.pages.get_mut(&page) {
                     lock.holders.retain(|(t, _)| *t != txn);
                     touched.push(page);
                 }
             }
+            self.list_pool.push(pages);
         }
-        if let Some(pages) = self.waiting.remove(&txn) {
-            for page in pages {
+        if let Some(mut pages) = self.waiting.remove(&txn) {
+            for page in pages.drain(..) {
                 if let Some(lock) = self.pages.get_mut(&page) {
                     lock.queue.retain(|w| w.txn != txn);
                     touched.push(page);
                 }
             }
+            self.list_pool.push(pages);
         }
         touched.sort_unstable();
         touched.dedup();
@@ -193,7 +215,9 @@ impl LockTable {
         if let Some(w) = self.waiting.get_mut(&txn) {
             w.retain(|p| *p != page);
             if w.is_empty() {
-                self.waiting.remove(&txn);
+                if let Some(shell) = self.waiting.remove(&txn) {
+                    self.list_pool.push(shell);
+                }
             }
         }
         self.grant_from_queue(page)
@@ -224,12 +248,18 @@ impl LockTable {
             lock.queue.remove(scan);
             lock.grant(head);
             if !head.is_upgrade {
-                self.held.entry(head.txn).or_default().push(page);
+                let list_pool = &mut self.list_pool;
+                self.held
+                    .entry(head.txn)
+                    .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                    .push(page);
             }
             if let Some(w) = self.waiting.get_mut(&head.txn) {
                 w.retain(|p| *p != page);
                 if w.is_empty() {
-                    self.waiting.remove(&head.txn);
+                    if let Some(shell) = self.waiting.remove(&head.txn) {
+                        self.list_pool.push(shell);
+                    }
                 }
             }
             granted.push((head.txn, page));
@@ -237,7 +267,9 @@ impl LockTable {
         if e.get().queue.is_empty() {
             self.queued.remove(&page);
             if e.get().holders.is_empty() {
-                e.remove();
+                // Both buffers are empty here; recycling the shell keeps
+                // their capacity for the next page entry.
+                self.lock_pool.push(e.remove());
             }
         }
         granted
@@ -249,6 +281,22 @@ impl LockTable {
             .get(&page)
             .map(|l| l.holders.clone())
             .unwrap_or_default()
+    }
+
+    /// Append `page`'s current holders to `out` (allocation-free variant of
+    /// [`holders`](LockTable::holders) for hot callers).
+    pub fn holders_into(&self, page: PageId, out: &mut Vec<(TxnId, LockMode)>) {
+        if let Some(l) = self.pages.get(&page) {
+            out.extend(l.holders.iter().copied());
+        }
+    }
+
+    /// Append `page`'s queued requests to `out` in queue order
+    /// (allocation-free variant of [`waiters`](LockTable::waiters)).
+    pub fn waiters_into(&self, page: PageId, out: &mut Vec<(TxnId, LockMode)>) {
+        if let Some(l) = self.pages.get(&page) {
+            out.extend(l.queue.iter().map(|w| (w.txn, w.mode)));
+        }
     }
 
     /// Holders of `page` whose locks conflict with a `mode` request by `txn`.
@@ -268,6 +316,15 @@ impl LockTable {
     /// (FIFO queues make those real waits too).
     pub fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
         let mut edges = Vec::new();
+        self.waits_for_edges_into(&mut edges);
+        edges
+    }
+
+    /// [`waits_for_edges`], appending into a caller-owned buffer so hot
+    /// callers (2PL detects on every block) can recycle the allocation.
+    ///
+    /// [`waits_for_edges`]: LockTable::waits_for_edges
+    pub fn waits_for_edges_into(&self, edges: &mut Vec<(TxnId, TxnId)>) {
         // Only pages with waiters produce edges; `queued` iterates them in
         // sorted order, so the output order matches the previous
         // all-pages-sorted scan exactly (pages without a queue emitted
@@ -295,7 +352,6 @@ impl LockTable {
                 }
             }
         }
-        edges
     }
 
     /// The queued requests on `page` in queue order.

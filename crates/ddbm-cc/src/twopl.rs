@@ -27,6 +27,8 @@ pub struct TwoPhaseLocking {
     /// timeout-based 2PL variant: the transaction manager aborts cohorts
     /// that stay blocked past `SystemParams::lock_timeout`).
     detection: bool,
+    /// Recycled edge buffer for local detection, which runs on every block.
+    edges_scratch: Vec<(TxnId, TxnId)>,
 }
 
 impl Default for TwoPhaseLocking {
@@ -42,6 +44,7 @@ impl TwoPhaseLocking {
             table: LockTable::new(),
             initial_ts: FxHashMap::default(),
             detection: true,
+            edges_scratch: Vec::new(),
         }
     }
 
@@ -85,11 +88,15 @@ impl CcManager for TwoPhaseLocking {
             LockOutcome::Granted => AccessResponse::granted(),
             LockOutcome::Queued if !self.detection => AccessResponse::blocked(),
             LockOutcome::Queued => {
-                // Local deadlock detection on every block (paper §2.2).
-                let edges = self.table.waits_for_edges();
+                // Local deadlock detection on every block (paper §2.2),
+                // through the recycled edge buffer.
+                let mut edges = std::mem::take(&mut self.edges_scratch);
+                edges.clear();
+                self.table.waits_for_edges_into(&mut edges);
                 let default_ts = Ts::ZERO;
                 let victims =
                     resolve_deadlocks(&edges, |t| *self.initial_ts.get(&t).unwrap_or(&default_ts));
+                self.edges_scratch = edges;
                 if victims.contains(&txn.id) {
                     // The requester itself dies: withdraw its fresh wait so
                     // the table holds no dangling request while the abort

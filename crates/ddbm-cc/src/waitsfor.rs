@@ -8,82 +8,192 @@
 
 use crate::common::Ts;
 use ddbm_config::TxnId;
-use denet::FxHashMap;
+use std::cell::RefCell;
+
+/// Reusable working storage for [`find_cycle`]. Local detection runs on
+/// every cohort block, so the analysis must not allocate in steady state;
+/// all intermediate structures live here and are recycled through a
+/// thread-local. Contents never survive a call (everything is rebuilt from
+/// the edge list each time), so recycling cannot affect results and the
+/// simulation stays deterministic regardless of which thread runs it.
+#[derive(Default)]
+struct Scratch {
+    /// Sorted, deduplicated node ids; position = compressed index.
+    nodes: Vec<TxnId>,
+    /// Index-compressed edges, sorted by (from, to) and deduplicated.
+    packed: Vec<(u32, u32)>,
+    /// CSR row offsets: node i's successors are `heads[row_start[i]..row_start[i + 1]]`.
+    row_start: Vec<u32>,
+    /// CSR successor array, ascending within each row.
+    heads: Vec<u32>,
+    /// In-degrees for Kahn peeling.
+    indegree: Vec<u32>,
+    /// Kahn work stack of in-degree-zero nodes.
+    ready: Vec<u32>,
+    /// DFS colors (white/grey/black).
+    color: Vec<u8>,
+    /// DFS stack of (node, next successor offset).
+    stack: Vec<(u32, u32)>,
+    /// Grey path for cycle extraction.
+    path: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
 
 /// Find one cycle in the directed graph given by `edges`, if any, returning
 /// its member transactions. Detection is deterministic: nodes are explored
 /// in sorted order.
+///
+/// The graph is acyclic in the overwhelming majority of calls, so the
+/// no-cycle answer has to be cheap: transaction ids are index-compressed,
+/// the graph is stored in CSR form (flat vectors, no hashing), and
+/// acyclicity is decided by Kahn peeling, which touches each edge once.
+/// Only when a cycle provably exists does the deterministic DFS run to
+/// extract its members — and the DFS visits nodes in sorted-id order with
+/// sorted, deduplicated successor lists, exactly like the original hash-map
+/// implementation, so the cycle (and thus the victim) reported for any
+/// given graph is unchanged.
 pub fn find_cycle(edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
-    let mut adj: FxHashMap<TxnId, Vec<TxnId>> = FxHashMap::default();
+    if edges.is_empty() {
+        return None;
+    }
+    SCRATCH.with(|cell| find_cycle_in(&mut cell.borrow_mut(), edges))
+}
+
+fn find_cycle_in(s: &mut Scratch, edges: &[(TxnId, TxnId)]) -> Option<Vec<TxnId>> {
+    // Index-compress: `nodes` is sorted, so index order == sorted-id order.
+    s.nodes.clear();
     for (from, to) in edges {
-        adj.entry(*from).or_default().push(*to);
-        adj.entry(*to).or_default();
+        s.nodes.push(*from);
+        s.nodes.push(*to);
     }
-    let mut nodes: Vec<TxnId> = adj.keys().copied().collect();
-    nodes.sort();
-    for targets in adj.values_mut() {
-        targets.sort();
-        targets.dedup();
-    }
+    s.nodes.sort_unstable();
+    s.nodes.dedup();
+    let nodes = &s.nodes;
+    let n = nodes.len();
+    let index_of = |t: TxnId| nodes.binary_search(&t).expect("node was inserted") as u32;
 
-    #[derive(Clone, Copy, PartialEq)]
-    enum Color {
-        White,
-        Grey,
-        Black,
+    // CSR adjacency: sorting the compressed edge list by (from, to) groups
+    // each node's successors contiguously and in ascending order; dedup
+    // collapses parallel edges.
+    s.packed.clear();
+    s.packed.extend(
+        edges
+            .iter()
+            .map(|(from, to)| (index_of(*from), index_of(*to))),
+    );
+    s.packed.sort_unstable();
+    s.packed.dedup();
+    s.row_start.clear();
+    s.row_start.resize(n + 1, 0);
+    for &(from, _) in &s.packed {
+        s.row_start[from as usize + 1] += 1;
     }
-    let mut color: FxHashMap<TxnId, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
+    for i in 0..n {
+        s.row_start[i + 1] += s.row_start[i];
+    }
+    s.heads.clear();
+    s.heads.extend(s.packed.iter().map(|&(_, to)| to));
+    let row_start = &s.row_start;
+    let heads = &s.heads;
+    let succs = |u: u32| &heads[row_start[u as usize] as usize..row_start[u as usize + 1] as usize];
 
-    // Iterative DFS keeping the grey path so the cycle can be extracted.
-    for &start in &nodes {
-        if color[&start] != Color::White {
-            continue;
-        }
-        let mut stack: Vec<(TxnId, usize)> = vec![(start, 0)];
-        let mut path: Vec<TxnId> = vec![start];
-        color.insert(start, Color::Grey);
-        while let Some((node, idx)) = stack.last_mut() {
-            let node = *node;
-            let succs = &adj[&node];
-            if *idx < succs.len() {
-                let next = succs[*idx];
-                *idx += 1;
-                match color[&next] {
-                    Color::Grey => {
-                        // Found a cycle: the path suffix from `next` onward.
-                        let pos = path.iter().position(|t| *t == next).expect("grey on path");
-                        return Some(path[pos..].to_vec());
-                    }
-                    Color::White => {
-                        color.insert(next, Color::Grey);
-                        stack.push((next, 0));
-                        path.push(next);
-                    }
-                    Color::Black => {}
-                }
-            } else {
-                color.insert(node, Color::Black);
-                stack.pop();
-                path.pop();
+    // Fast path: Kahn peeling. If every node can be removed once its
+    // in-degree drains to zero, the graph is acyclic and there is nothing
+    // to extract.
+    s.indegree.clear();
+    s.indegree.resize(n, 0);
+    for &to in heads {
+        s.indegree[to as usize] += 1;
+    }
+    s.ready.clear();
+    s.ready
+        .extend((0..n as u32).filter(|&u| s.indegree[u as usize] == 0));
+    let mut removed = 0usize;
+    while let Some(u) = s.ready.pop() {
+        removed += 1;
+        for &v in succs(u) {
+            s.indegree[v as usize] -= 1;
+            if s.indegree[v as usize] == 0 {
+                s.ready.push(v);
             }
         }
     }
-    None
+    if removed == n {
+        return None;
+    }
+
+    // Iterative DFS keeping the grey path so the cycle can be extracted.
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    s.color.clear();
+    s.color.resize(n, WHITE);
+    for start in 0..n as u32 {
+        if s.color[start as usize] != WHITE {
+            continue;
+        }
+        s.stack.clear();
+        s.stack.push((start, 0));
+        s.path.clear();
+        s.path.push(start);
+        s.color[start as usize] = GREY;
+        while let Some((node, idx)) = s.stack.last_mut() {
+            let node = *node;
+            let row = succs(node);
+            if (*idx as usize) < row.len() {
+                let next = row[*idx as usize];
+                *idx += 1;
+                match s.color[next as usize] {
+                    GREY => {
+                        // Found a cycle: the path suffix from `next` onward.
+                        let pos = s
+                            .path
+                            .iter()
+                            .position(|u| *u == next)
+                            .expect("grey on path");
+                        return Some(s.path[pos..].iter().map(|&u| nodes[u as usize]).collect());
+                    }
+                    WHITE => {
+                        s.color[next as usize] = GREY;
+                        s.stack.push((next, 0));
+                        s.path.push(next);
+                    }
+                    _ => {}
+                }
+            } else {
+                s.color[node as usize] = BLACK;
+                s.stack.pop();
+                s.path.pop();
+            }
+        }
+    }
+    unreachable!("Kahn peeling found a cycle the DFS failed to extract")
 }
 
 /// Repeatedly find cycles and select victims until the graph is acyclic.
 /// The victim of each cycle is the youngest member (largest `initial_ts`).
 /// Returns the victims in selection order.
 pub fn resolve_deadlocks(edges: &[(TxnId, TxnId)], ts_of: impl Fn(TxnId) -> Ts) -> Vec<TxnId> {
+    // The first detection runs on the borrowed slice so the common acyclic
+    // case copies nothing; the working copy is only made once a victim has
+    // to be carved out.
+    let Some(first) = find_cycle(edges) else {
+        return Vec::new();
+    };
     let mut remaining: Vec<(TxnId, TxnId)> = edges.to_vec();
     let mut victims = Vec::new();
-    while let Some(cycle) = find_cycle(&remaining) {
-        let victim = *cycle
+    let mut cycle = Some(first);
+    while let Some(members) = cycle {
+        let victim = *members
             .iter()
             .max_by_key(|t| (ts_of(**t), **t))
             .expect("cycle is non-empty");
         victims.push(victim);
         remaining.retain(|(a, b)| *a != victim && *b != victim);
+        cycle = find_cycle(&remaining);
     }
     victims
 }

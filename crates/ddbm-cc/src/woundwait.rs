@@ -26,6 +26,11 @@ use denet::FxHashMap;
 pub struct WoundWait {
     table: LockTable,
     initial_ts: FxHashMap<TxnId, Ts>,
+    /// Scratch for wound evaluation, which runs on every request, grant,
+    /// and release — copying the holder/waiter lists out per page keeps the
+    /// borrow on the table short without paying an allocation each time.
+    holders_scratch: Vec<(TxnId, LockMode)>,
+    waiters_scratch: Vec<(TxnId, LockMode)>,
 }
 
 impl WoundWait {
@@ -44,22 +49,33 @@ impl WoundWait {
     /// Wounding only holders would leave a deadlock: an old reader queued
     /// behind a young writer that waits on a young holder can close a cycle
     /// through queue-order edges alone.
-    fn wounds_for(&self, page: PageId, requester: TxnId, mode: LockMode) -> Vec<TxnId> {
+    fn wounds_for(&mut self, page: PageId, requester: TxnId, mode: LockMode) -> Vec<TxnId> {
         let requester_ts = self.ts(requester);
-        let mut wounds: Vec<TxnId> = self
-            .table
-            .conflicting_holders(page, requester, mode)
-            .into_iter()
-            .filter(|holder| requester_ts.older_than(self.ts(*holder)))
-            .collect();
-        for (ahead, ahead_mode) in self.table.waiters(page) {
-            if ahead == requester {
-                break; // only requests queued ahead of ours
-            }
-            if !ahead_mode.compatible(mode) && requester_ts.older_than(self.ts(ahead)) {
-                wounds.push(ahead);
+        let mut holders = std::mem::take(&mut self.holders_scratch);
+        holders.clear();
+        self.table.holders_into(page, &mut holders);
+        let mut wounds: Vec<TxnId> = Vec::new();
+        for (holder, held_mode) in &holders {
+            if *holder != requester
+                && !held_mode.compatible(mode)
+                && requester_ts.older_than(self.ts(*holder))
+            {
+                wounds.push(*holder);
             }
         }
+        let mut waiters = std::mem::take(&mut self.waiters_scratch);
+        waiters.clear();
+        self.table.waiters_into(page, &mut waiters);
+        for (ahead, ahead_mode) in &waiters {
+            if *ahead == requester {
+                break; // only requests queued ahead of ours
+            }
+            if !ahead_mode.compatible(mode) && requester_ts.older_than(self.ts(*ahead)) {
+                wounds.push(*ahead);
+            }
+        }
+        self.holders_scratch = holders;
+        self.waiters_scratch = waiters;
         wounds.sort();
         wounds.dedup();
         wounds
@@ -69,11 +85,15 @@ impl WoundWait {
     /// pages after the holder set or queue changed: each waiter wounds every
     /// younger transaction it now waits behind (holders and conflicting
     /// earlier waiters).
-    fn rewound_waiters(&self, pages: impl IntoIterator<Item = PageId>) -> Vec<TxnId> {
+    fn rewound_waiters(&mut self, pages: impl IntoIterator<Item = PageId>) -> Vec<TxnId> {
         let mut wounds = Vec::new();
+        let mut holders = std::mem::take(&mut self.holders_scratch);
+        let mut waiters = std::mem::take(&mut self.waiters_scratch);
         for page in pages {
-            let holders = self.table.holders(page);
-            let waiters = self.table.waiters(page);
+            holders.clear();
+            waiters.clear();
+            self.table.holders_into(page, &mut holders);
+            self.table.waiters_into(page, &mut waiters);
             for (i, (waiter, wmode)) in waiters.iter().enumerate() {
                 let waiter_ts = self.ts(*waiter);
                 for (holder, held_mode) in &holders {
@@ -91,6 +111,8 @@ impl WoundWait {
                 }
             }
         }
+        self.holders_scratch = holders;
+        self.waiters_scratch = waiters;
         wounds.sort();
         wounds.dedup();
         wounds
@@ -101,8 +123,7 @@ impl WoundWait {
         let granted = self.table.release_all(txn);
         // Holder sets changed on the granted pages; older waiters still
         // queued there wound the fresh (younger) holders.
-        let pages: Vec<PageId> = granted.iter().map(|(_, p)| *p).collect();
-        let must_abort = self.rewound_waiters(pages);
+        let must_abort = self.rewound_waiters(granted.iter().map(|(_, p)| *p));
         ReleaseResponse {
             granted,
             rejected: Vec::new(),

@@ -223,10 +223,12 @@ pub enum DiskJob {
 pub enum Event {
     /// A terminal finished thinking and submits a new transaction.
     TerminalSubmit { terminal: usize },
-    /// Poll a node's CPU for completions (scheduled at its predicted next
-    /// completion; stale polls are harmless no-ops).
+    /// A node's CPU reaches its predicted next completion. Scheduled via a
+    /// cancellable calendar token; superseded predictions are withdrawn, so
+    /// every one of these that fires corresponds to real completed work.
     CpuPoll { node: NodeId },
-    /// Poll a node's disks for completions.
+    /// A node's disk array reaches its predicted next completion (same
+    /// cancel-and-replace scheduling as `CpuPoll`).
     DiskPoll { node: NodeId },
     /// The restart delay of an aborted transaction expired.
     Restart { txn: TxnId },

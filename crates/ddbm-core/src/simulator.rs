@@ -18,7 +18,7 @@ use crate::workload::{generate_template, TxnTemplate};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
 use ddbm_config::{Algorithm, Config, ConfigError, NodeId, Placement, TxnId};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
-use denet::{EventCalendar, SimDuration, SimRng, SimTime};
+use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime};
 use std::rc::Rc;
 
 struct NodeState {
@@ -28,17 +28,22 @@ struct NodeState {
     /// Extension: per-node LRU buffer pool (capacity 0 = the paper's model,
     /// every read access does a disk I/O).
     buffer: LruPool<ddbm_config::PageId>,
-    /// Time of the most recently scheduled CPU poll — the only one that is
-    /// still valid. Every CPU state change reschedules from the fresh
-    /// prediction, so a poll that fires at any other time has been
-    /// superseded and is ignored without touching the CPU. (Touching on
-    /// stale polls is not just wasted work: each no-op advance re-references
-    /// the ceil-rounded completion prediction, pushing it ~1ns later, which
-    /// used to make the handler reschedule yet another poll — a feedback
-    /// loop that produced ~76 stale polls per real CPU state change.)
-    cpu_poll_at: Option<SimTime>,
-    /// Same latest-wins dedup for disk polls.
-    disk_poll_at: Option<SimTime>,
+    /// The pending CPU completion event: its instant and the calendar token
+    /// that withdraws it. Every CPU state change re-predicts; if the instant
+    /// moved, the old event is *cancelled* and a fresh one scheduled, so
+    /// every `CpuPoll` that fires is the unique live prediction for this
+    /// node — no stale polls reach the handler, and the CPU is only ever
+    /// advanced to instants where something actually completes.
+    cpu_sched: Option<(SimTime, EventToken)>,
+    /// Same cancel-and-replace scheduling for the disk array.
+    disk_sched: Option<(SimTime, EventToken)>,
+    /// True while this node's CPU prediction awaits reconciliation with the
+    /// calendar (it is listed in `Simulator::dirty_cpu`). A handler cascade
+    /// can re-predict the same resource many times within one event; the
+    /// flag coalesces those into a single cancel/schedule at event end.
+    cpu_dirty: bool,
+    /// Same deferral flag for the disk array prediction.
+    disk_dirty: bool,
 }
 
 /// State of the rotating global deadlock detector (2PL only).
@@ -67,6 +72,12 @@ pub struct Simulator {
     /// same resource (e.g. a message completion sends another message).
     cpu_bufs: Vec<Vec<CpuJob>>,
     disk_bufs: Vec<Vec<DiskJob>>,
+    /// Nodes whose CPU prediction changed during the current event and whose
+    /// calendar entry has not been reconciled yet (see
+    /// [`flush_rescheds`](Self::flush_rescheds)).
+    dirty_cpu: Vec<NodeId>,
+    /// Same deferral list for disk predictions.
+    dirty_disk: Vec<NodeId>,
     rng_think: SimRng,
     rng_work: SimRng,
     rng_proc: SimRng,
@@ -92,8 +103,10 @@ impl Simulator {
                 disks: DiskArray::new(config.system.num_disks),
                 cc: make_manager_with(config.algorithm, config.system.lock_barging),
                 buffer: LruPool::new(config.system.buffer_pages as usize),
-                cpu_poll_at: None,
-                disk_poll_at: None,
+                cpu_sched: None,
+                disk_sched: None,
+                cpu_dirty: false,
+                disk_dirty: false,
             })
             .collect();
         let snoop = (config.algorithm == Algorithm::TwoPhaseLocking).then(|| SnoopState {
@@ -110,6 +123,8 @@ impl Simulator {
             next_txn: 1,
             cpu_bufs: Vec::new(),
             disk_bufs: Vec::new(),
+            dirty_cpu: Vec::new(),
+            dirty_disk: Vec::new(),
             rng_think: SimRng::derive(seed, "think"),
             rng_work: SimRng::derive(seed, "workload"),
             rng_proc: SimRng::derive(seed, "page-processing"),
@@ -181,6 +196,9 @@ impl Simulator {
                 break;
             }
             self.on_event(now, ev);
+            // Reconcile deferred CPU/disk predictions with the calendar now
+            // that the cascade is done, before the next pop relies on it.
+            self.flush_rescheds();
             if self.finished {
                 break;
             }
@@ -248,20 +266,29 @@ impl Simulator {
         match ev {
             Event::TerminalSubmit { terminal } => self.submit_transaction(now, terminal),
             Event::CpuPoll { node } => {
-                // Only the most recently scheduled poll is valid; see the
-                // `cpu_poll_at` field docs.
-                if self.nodes[node.0].cpu_poll_at == Some(now) {
-                    self.nodes[node.0].cpu_poll_at = None;
-                    self.touch_cpu(now, node);
-                    self.resched_cpu(now, node);
-                }
+                // Superseded completions are withdrawn from the calendar, so
+                // a poll that fires is always the live prediction. Clear the
+                // token *before* touching the CPU: the completion handlers
+                // can recursively reschedule this node, and they must not
+                // cancel the event that is firing right now.
+                debug_assert_eq!(
+                    self.nodes[node.0].cpu_sched.as_ref().map(|s| s.0),
+                    Some(now),
+                    "a stale CpuPoll fired"
+                );
+                self.nodes[node.0].cpu_sched = None;
+                self.touch_cpu(now, node);
+                self.resched_cpu(now, node);
             }
             Event::DiskPoll { node } => {
-                if self.nodes[node.0].disk_poll_at == Some(now) {
-                    self.nodes[node.0].disk_poll_at = None;
-                    self.touch_disks(now, node);
-                    self.resched_disks(now, node);
-                }
+                debug_assert_eq!(
+                    self.nodes[node.0].disk_sched.as_ref().map(|s| s.0),
+                    Some(now),
+                    "a stale DiskPoll fired"
+                );
+                self.nodes[node.0].disk_sched = None;
+                self.touch_disks(now, node);
+                self.resched_disks(now, node);
             }
             Event::Restart { txn } => self.restart_txn(now, txn),
             Event::SnoopWake { node, round } => self.snoop_wake(now, node, round),
@@ -1084,6 +1111,9 @@ impl Simulator {
     /// Advance a node's CPU and handle every completed job. Completions land
     /// in a pooled scratch buffer, so steady-state advances do not allocate.
     fn touch_cpu(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.0].cpu.is_current(now) {
+            return; // clock already at `now`: nothing can have completed
+        }
         let mut buf = self.cpu_bufs.pop().unwrap_or_default();
         self.nodes[node.0].cpu.advance_into(now, &mut buf);
         for job in buf.drain(..) {
@@ -1092,17 +1122,57 @@ impl Simulator {
         self.cpu_bufs.push(buf);
     }
 
+    /// Note that the node's CPU prediction may have changed. The calendar is
+    /// reconciled lazily by [`flush_rescheds`](Self::flush_rescheds) once the
+    /// current event's handler cascade has run to completion — a single
+    /// event often re-predicts the same resource several times (message
+    /// completions submitting replies, grants waking cohorts, ...), and
+    /// deferring collapses all of them into at most one cancel/schedule.
     fn resched_cpu(&mut self, now: SimTime, node: NodeId) {
         let _ = now;
         let state = &mut self.nodes[node.0];
+        if !state.cpu_dirty {
+            state.cpu_dirty = true;
+            self.dirty_cpu.push(node);
+        }
+    }
+
+    /// Re-predict the node's next CPU completion and make the calendar agree:
+    /// unchanged predictions keep their event, moved ones cancel the old
+    /// event and schedule a replacement, vanished ones just cancel.
+    fn flush_resched_cpu(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.0];
         match state.cpu.next_completion() {
             Some(at) => {
-                if state.cpu_poll_at != Some(at) {
-                    state.cpu_poll_at = Some(at);
-                    self.calendar.schedule(at, Event::CpuPoll { node });
+                if state.cpu_sched.as_ref().is_some_and(|s| s.0 == at) {
+                    return; // prediction unchanged; event already pending
+                }
+                if let Some((_, tok)) = state.cpu_sched.take() {
+                    self.calendar.cancel(tok);
+                }
+                let tok = self.calendar.schedule_keyed(at, Event::CpuPoll { node });
+                self.nodes[node.0].cpu_sched = Some((at, tok));
+            }
+            None => {
+                if let Some((_, tok)) = state.cpu_sched.take() {
+                    self.calendar.cancel(tok);
                 }
             }
-            None => state.cpu_poll_at = None,
+        }
+    }
+
+    /// Reconcile every deferred resource prediction with the calendar. Must
+    /// run after each event dispatch, before the next calendar pop: the
+    /// calendar only stays an accurate picture of future completions between
+    /// events, not within a handler cascade.
+    fn flush_rescheds(&mut self) {
+        while let Some(node) = self.dirty_cpu.pop() {
+            self.nodes[node.0].cpu_dirty = false;
+            self.flush_resched_cpu(node);
+        }
+        while let Some(node) = self.dirty_disk.pop() {
+            self.nodes[node.0].disk_dirty = false;
+            self.flush_resched_disks(node);
         }
     }
 
@@ -1115,17 +1185,35 @@ impl Simulator {
         self.disk_bufs.push(buf);
     }
 
+    /// Deferred twin of [`resched_cpu`](Self::resched_cpu) for the disk
+    /// array.
     fn resched_disks(&mut self, now: SimTime, node: NodeId) {
         let _ = now;
         let state = &mut self.nodes[node.0];
+        if !state.disk_dirty {
+            state.disk_dirty = true;
+            self.dirty_disk.push(node);
+        }
+    }
+
+    fn flush_resched_disks(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.0];
         match state.disks.next_completion() {
             Some(at) => {
-                if state.disk_poll_at != Some(at) {
-                    state.disk_poll_at = Some(at);
-                    self.calendar.schedule(at, Event::DiskPoll { node });
+                if state.disk_sched.as_ref().is_some_and(|s| s.0 == at) {
+                    return;
+                }
+                if let Some((_, tok)) = state.disk_sched.take() {
+                    self.calendar.cancel(tok);
+                }
+                let tok = self.calendar.schedule_keyed(at, Event::DiskPoll { node });
+                self.nodes[node.0].disk_sched = Some((at, tok));
+            }
+            None => {
+                if let Some((_, tok)) = state.disk_sched.take() {
+                    self.calendar.cancel(tok);
                 }
             }
-            None => state.disk_poll_at = None,
         }
     }
 

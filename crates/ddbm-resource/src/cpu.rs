@@ -9,12 +9,39 @@
 //!   CC request processing. Served **processor sharing**: when `n` jobs are
 //!   present each progresses at `rate / n`.
 //!
+//! # Virtual-time (fluid) accounting
+//!
+//! The processor-sharing class is tracked in *virtual time*: `v` is the
+//! cumulative work a hypothetical always-present job would have received
+//! (in instructions), advancing at `rate / n` per real second while `n`
+//! shared jobs are live and frozen while a message preempts them. A job
+//! arriving with `w` instructions is stamped with a finish tag
+//! `f = v + w` that never changes afterwards, and it completes exactly when
+//! `v` reaches `f`. The pending tags sit in a small min-heap ordered by
+//! `(f, arrival seq)`, so:
+//!
+//! * [`Cpu::advance`] to an instant with no completions is an O(1) clock
+//!   update (one add to `v`) — no per-job work, no rescan;
+//! * [`Cpu::next_completion`] is O(1): the next finisher is the min finish
+//!   tag, at `last + (f_min − v)·n / rate`;
+//! * completing one job is one heap pop, O(log n).
+//!
+//! The previous implementation rescanned the whole shared-job vector on
+//! every state change (O(n) per interaction, with repeated re-prediction of
+//! completion instants drifting by a nanosecond per rescan thanks to ceil
+//! rounding). The virtual-time form makes every prediction *exact*: calling
+//! `advance` at the instant `next_completion` returned recomputes the same
+//! `(f_min − v)·n` product and takes the exact-completion path, so
+//! prediction and completion cannot drift apart.
+//!
+//! `v` is rebased to zero whenever the shared class empties, which bounds
+//! floating-point magnitude growth to one busy period.
+//!
 //! The model is driven by the owner: every interaction first calls
-//! [`Cpu::advance`] to apply progress up to the current instant, and after any
-//! state change the owner asks [`Cpu::next_completion`] and schedules a
-//! calendar event for that instant. Because completion instants shift whenever
-//! the job mix changes, events are validated with an epoch counter: an event
-//! carrying a stale epoch is simply ignored.
+//! [`Cpu::advance`] to apply progress up to the current instant, and after
+//! any state change the owner asks [`Cpu::next_completion`] and (re)schedules
+//! a cancellable calendar event for that instant — the completion event is
+//! withdrawn when superseded, so stale completions never fire.
 
 use denet::{BusyTracker, SimDuration, SimTime, NANOS_PER_SEC};
 use std::collections::VecDeque;
@@ -29,18 +56,58 @@ struct Job<T> {
     remaining: f64, // instructions
 }
 
+/// A shared-class job: its tag plus the sequence number that validates heap
+/// entries pointing at this slot (slots are reused; stale heap entries carry
+/// an older sequence number and are skipped).
+#[derive(Debug)]
+struct SharedSlot<T> {
+    tag: T,
+    seq: u64,
+}
+
+/// One entry of the intra-CPU finish-tag heap.
+#[derive(Debug, Clone, Copy)]
+struct PsEntry {
+    /// Virtual finish tag `v(arrival) + instructions`.
+    finish: f64,
+    /// Arrival sequence: FIFO tie-break for equal tags, and slot validation.
+    seq: u64,
+    /// Index into `Cpu::slots`.
+    slot: u32,
+}
+
+impl PsEntry {
+    /// Min-heap order: earliest finish tag first, FIFO within a tag.
+    #[inline]
+    fn before(&self, other: &PsEntry) -> bool {
+        self.finish < other.finish || (self.finish == other.finish && self.seq < other.seq)
+    }
+}
+
 /// A single-CPU node processor.
 #[derive(Debug)]
 pub struct Cpu<T> {
     /// Instruction rate, instructions per second.
     rate: f64,
+    /// Nanoseconds per instruction (`1e9 / rate`), precomputed so the
+    /// service-time conversion on every prediction and advance is a single
+    /// multiply instead of a divide.
+    ns_per_instr: f64,
     messages: VecDeque<Job<T>>,
-    shared: Vec<Job<T>>,
+    /// Cumulative virtual work per unit share, in instructions.
+    v: f64,
+    /// Shared-job payloads; heap entries point into this slab.
+    slots: Vec<Option<SharedSlot<T>>>,
+    /// Vacated slab positions available for reuse.
+    free: Vec<u32>,
+    /// Min-heap of pending finish tags. May contain stale entries for
+    /// cancelled jobs; they are skipped lazily (validated against `slots`).
+    heap: Vec<PsEntry>,
+    /// Live shared jobs (`n` in the fluid model); excludes cancelled ones.
+    live: usize,
+    next_seq: u64,
     last: SimTime,
     busy: BusyTracker,
-    /// Bumped on every state change; lets the owner discard stale
-    /// completion events.
-    epoch: u64,
 }
 
 impl<T> Cpu<T> {
@@ -49,32 +116,37 @@ impl<T> Cpu<T> {
         assert!(rate > 0.0 && rate.is_finite());
         Cpu {
             rate,
+            ns_per_instr: NANOS_PER_SEC as f64 / rate,
             messages: VecDeque::new(),
-            shared: Vec::new(),
+            v: 0.0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            live: 0,
+            next_seq: 0,
             last: SimTime::ZERO,
             busy: BusyTracker::new(SimTime::ZERO),
-            epoch: 0,
         }
-    }
-
-    /// The current scheduling epoch. An event scheduled for this CPU should
-    /// carry the epoch current at scheduling time and be dropped on arrival
-    /// if it no longer matches.
-    #[inline]
-    pub fn epoch(&self) -> u64 {
-        self.epoch
     }
 
     #[inline]
     /// `is_idle`.
     pub fn is_idle(&self) -> bool {
-        self.messages.is_empty() && self.shared.is_empty()
+        self.messages.is_empty() && self.live == 0
+    }
+
+    /// True when the accounting clock already sits at `now`: an `advance`
+    /// to `now` would be a no-op, so callers can skip completion-buffer
+    /// setup entirely. Same-instant interactions dominate event cascades.
+    #[inline]
+    pub fn is_current(&self, now: SimTime) -> bool {
+        self.last == now
     }
 
     /// Number of jobs currently sharing the processor (excludes messages).
     #[inline]
     pub fn shared_len(&self) -> usize {
-        self.shared.len()
+        self.live
     }
 
     /// Number of queued message jobs.
@@ -108,12 +180,19 @@ impl<T> Cpu<T> {
     /// `done` instead of allocating. Completion order is identical.
     pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<T>) {
         debug_assert!(now >= self.last, "CPU advanced backwards");
-        let already = done.len();
+        if now == self.last {
+            // Zero elapsed time: no fluid progress, no message service, and
+            // any sub-EPS residue was already swept by the call that moved
+            // `last` here. The owner touches the CPU before every submit, so
+            // this no-op path is the most common call by far.
+            return;
+        }
         let mut t = self.last; // current position within (last, now]
-        while t < now {
+        loop {
             if let Some(head) = self.messages.front() {
                 // Message service: head of queue, full rate, preemptive.
-                let need = duration_for(head.remaining, self.rate);
+                // Virtual time is frozen while a message holds the CPU.
+                let need = duration_for(head.remaining, self.ns_per_instr);
                 if t + need <= now {
                     t += need;
                     let job = self.messages.pop_front().expect("head exists");
@@ -131,36 +210,39 @@ impl<T> Cpu<T> {
                         let job = self.messages.pop_front().expect("head exists");
                         done.push(job.tag);
                     }
+                    // The message (or its successor) holds the CPU past `now`;
+                    // the shared class is preempted and sees zero progress.
                     t = now;
+                    break;
                 }
-            } else if !self.shared.is_empty() {
-                // Processor sharing: find the earliest finisher at rate/n.
-                let n = self.shared.len() as f64;
-                let min_rem = self
-                    .shared
-                    .iter()
-                    .map(|j| j.remaining)
-                    .fold(f64::INFINITY, f64::min);
-                let need = duration_for(min_rem * n, self.rate);
-                let served = if t + need <= now {
+            } else if self.live > 0 {
+                let n = self.live as f64;
+                let top = self.heap[0];
+                debug_assert!(self.entry_live(&top), "heap top must be live");
+                let need = duration_for((top.finish - self.v).max(0.0) * n, self.ns_per_instr);
+                if t + need <= now {
+                    // Exact completion: the same product that predicted this
+                    // instant lands virtual time exactly on the finish tag.
                     t += need;
-                    min_rem
+                    self.v = top.finish;
+                    done.push(self.complete_top());
                 } else {
-                    let s = now.since(t).as_secs_f64() * self.rate / n;
+                    // No completion in (t, now]: one O(1) fluid update.
+                    self.v += now.since(t).as_secs_f64() * self.rate / n;
                     t = now;
-                    s
-                };
-                let mut i = 0;
-                while i < self.shared.len() {
-                    self.shared[i].remaining -= served;
-                    if self.shared[i].remaining <= EPS_INSTR {
-                        done.push(self.shared.remove(i).tag);
-                    } else {
-                        i += 1;
+                    // Ceil-rounded instants can overshoot a finish tag by a
+                    // sub-nanosecond sliver; sweep tags the fluid already
+                    // passed (the EPS companion to the message-class sweep).
+                    while self.live > 0 && self.heap[0].finish <= self.v + EPS_INSTR {
+                        done.push(self.complete_top());
                     }
+                    break;
                 }
             } else {
                 break; // idle for the rest of the interval
+            }
+            if t >= now && self.messages.is_empty() && self.live == 0 {
+                break;
             }
         }
         self.last = now;
@@ -171,8 +253,45 @@ impl<T> Cpu<T> {
         } else {
             self.busy.set_busy(now, true);
         }
-        if done.len() > already {
-            self.epoch += 1;
+    }
+
+    /// Pop the (live) top of the finish-tag heap, free its slot, and return
+    /// its tag. Rebases virtual time when the shared class empties.
+    fn complete_top(&mut self) -> T {
+        let top = self.pop_heap();
+        let slot = self.slots[top.slot as usize].take().expect("live entry");
+        debug_assert_eq!(slot.seq, top.seq);
+        self.free.push(top.slot);
+        self.live -= 1;
+        if self.live == 0 {
+            // Empty shared class: reset the fluid clock so `v` (and the
+            // f64 error of tags derived from it) stays bounded by one busy
+            // period rather than growing for the whole run.
+            self.v = 0.0;
+            self.heap.clear();
+        } else {
+            self.skip_dead_entries();
+        }
+        slot.tag
+    }
+
+    /// True if a heap entry still refers to a live job (its slot holds the
+    /// same sequence number).
+    #[inline]
+    fn entry_live(&self, e: &PsEntry) -> bool {
+        self.slots[e.slot as usize]
+            .as_ref()
+            .is_some_and(|s| s.seq == e.seq)
+    }
+
+    /// Drop stale heap tops so `heap[0]`, when `live > 0`, is always a live
+    /// entry (the invariant `next_completion` and `advance` rely on).
+    fn skip_dead_entries(&mut self) {
+        while let Some(&top) = self.heap.first() {
+            if self.entry_live(&top) {
+                break;
+            }
+            self.pop_heap();
         }
     }
 
@@ -185,11 +304,24 @@ impl<T> Cpu<T> {
             return Some(tag);
         }
         self.sync_clock(now);
-        self.epoch += 1;
-        self.shared.push(Job {
-            tag,
-            remaining: instructions,
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(SharedSlot { tag, seq });
+                s
+            }
+            None => {
+                self.slots.push(Some(SharedSlot { tag, seq }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.push_heap(PsEntry {
+            finish: self.v + instructions,
+            seq,
+            slot,
         });
+        self.live += 1;
         self.busy.set_busy(now, true);
         None
     }
@@ -203,7 +335,6 @@ impl<T> Cpu<T> {
             return Some(tag);
         }
         self.sync_clock(now);
-        self.epoch += 1;
         self.messages.push_back(Job {
             tag,
             remaining: instructions,
@@ -230,18 +361,27 @@ impl<T> Cpu<T> {
     /// Remove all processor-shared jobs matching `pred` (e.g. the work of an
     /// aborted cohort) and return their tags. Message jobs are never
     /// cancelled: protocol processing always runs to completion.
+    ///
+    /// Removal is O(1) per removed job (slot freed, heap entry tombstoned
+    /// and skipped lazily); the fluid share of the survivors adjusts
+    /// automatically because `live` shrinks.
     pub fn cancel_shared_where(&mut self, pred: impl Fn(&T) -> bool) -> Vec<T> {
         let mut removed = Vec::new();
-        let mut i = 0;
-        while i < self.shared.len() {
-            if pred(&self.shared[i].tag) {
-                removed.push(self.shared.remove(i).tag);
-            } else {
-                i += 1;
+        for i in 0..self.slots.len() {
+            if self.slots[i].as_ref().is_some_and(|s| pred(&s.tag)) {
+                let slot = self.slots[i].take().expect("checked");
+                self.free.push(i as u32);
+                self.live -= 1;
+                removed.push(slot.tag);
             }
         }
         if !removed.is_empty() {
-            self.epoch += 1;
+            if self.live == 0 {
+                self.v = 0.0;
+                self.heap.clear();
+            } else {
+                self.skip_dead_entries();
+            }
             self.busy.set_busy(self.last, !self.is_idle());
         }
         removed
@@ -249,29 +389,83 @@ impl<T> Cpu<T> {
 
     /// The instant the next job will complete if no further state changes
     /// occur, or `None` when idle. Call immediately after `advance`.
+    ///
+    /// Exact: advancing to the returned instant recomputes the identical
+    /// service requirement and completes the predicted job there.
     pub fn next_completion(&self) -> Option<SimTime> {
         if let Some(head) = self.messages.front() {
-            return Some(self.last + duration_for(head.remaining, self.rate));
+            return Some(self.last + duration_for(head.remaining, self.ns_per_instr));
         }
-        if self.shared.is_empty() {
+        if self.live == 0 {
             return None;
         }
-        let n = self.shared.len() as f64;
-        let min_rem = self
-            .shared
-            .iter()
-            .map(|j| j.remaining)
-            .fold(f64::INFINITY, f64::min);
-        Some(self.last + duration_for(min_rem * n, self.rate))
+        let top = &self.heap[0];
+        debug_assert!(self.entry_live(top), "heap top must be live");
+        let n = self.live as f64;
+        Some(self.last + duration_for((top.finish - self.v).max(0.0) * n, self.ns_per_instr))
+    }
+
+    // --- intra-CPU finish-tag heap (binary, hole-free: entries are 24-byte
+    // `Copy`, so plain writes are cheap) ---
+
+    fn push_heap(&mut self, entry: PsEntry) {
+        let mut i = self.heap.len();
+        self.heap.push(entry);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !entry.before(&self.heap[parent]) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn pop_heap(&mut self) -> PsEntry {
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            let len = self.heap.len();
+            let mut i = 0;
+            loop {
+                let l = 2 * i + 1;
+                if l >= len {
+                    break;
+                }
+                let r = l + 1;
+                let child = if r < len && self.heap[r].before(&self.heap[l]) {
+                    r
+                } else {
+                    l
+                };
+                if !self.heap[child].before(&last) {
+                    break;
+                }
+                self.heap[i] = self.heap[child];
+                i = child;
+            }
+            self.heap[i] = last;
+        }
+        top
     }
 }
 
-/// Time to execute `instructions` at `rate`, rounded *up* to the next
-/// nanosecond so the job is certain to have finished at the returned instant.
+/// Time to execute `instructions` at `ns_per_instr` nanoseconds each,
+/// rounded *up* to the next nanosecond so the job is certain to have
+/// finished at the returned instant. The caller passes the precomputed
+/// reciprocal rate; prediction and advance use the same formula, which is
+/// what keeps completions exact.
 #[inline]
-fn duration_for(instructions: f64, rate: f64) -> SimDuration {
-    let secs = instructions.max(0.0) / rate;
-    SimDuration((secs * NANOS_PER_SEC as f64).ceil() as u64)
+fn duration_for(instructions: f64, ns_per_instr: f64) -> SimDuration {
+    let ns = instructions.max(0.0) * ns_per_instr;
+    // Integer ceil: `f64::ceil` is a libm call on baseline x86-64, and this
+    // sits on the prediction path of every CPU interaction. Identical
+    // results: `floor` truncates, and one is added exactly when truncation
+    // actually dropped a fraction (saturating casts make the overflow edge
+    // agree too).
+    let floor = ns as u64;
+    SimDuration(floor + u64::from((floor as f64) < ns))
 }
 
 #[cfg(test)]
@@ -367,6 +561,19 @@ mod tests {
     }
 
     #[test]
+    fn equal_finish_tags_complete_fifo() {
+        let mut cpu = Cpu::new(1e6);
+        // Four identical jobs submitted in order at the same instant: they
+        // all carry the same finish tag and must complete in arrival order.
+        for i in 1..=4u32 {
+            assert!(cpu.submit_shared(SimTime::ZERO, i, 1_000.0).is_none());
+        }
+        let t = cpu.next_completion().unwrap();
+        assert_eq!(t, SimTime(4_000_000));
+        assert_eq!(cpu.advance(t), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     fn utilization_counts_busy_time_only() {
         let mut cpu = Cpu::new(1e6);
         assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
@@ -403,15 +610,36 @@ mod tests {
     }
 
     #[test]
-    fn epoch_bumps_on_every_change() {
+    fn cancel_of_the_imminent_finisher_reroutes_the_prediction() {
         let mut cpu = Cpu::new(1e6);
-        let e0 = cpu.epoch();
         assert!(cpu.submit_shared(SimTime::ZERO, 1, 1_000.0).is_none());
-        let e1 = cpu.epoch();
-        assert!(e1 > e0);
-        let t = cpu.next_completion().unwrap();
-        cpu.advance(t);
-        assert!(cpu.epoch() > e1);
+        assert!(cpu.submit_shared(SimTime::ZERO, 2, 5_000.0).is_none());
+        // Job 1 would finish first (at 2 ms); cancel it. Job 2 then owns the
+        // whole CPU from t=0: done at 5 ms.
+        assert_eq!(cpu.cancel_shared_where(|t| *t == 1), vec![1]);
+        assert_eq!(cpu.next_completion(), Some(SimTime(5_000_000)));
+        assert_eq!(cpu.advance(SimTime(5_000_000)), vec![2]);
+        assert!(cpu.is_idle());
+    }
+
+    #[test]
+    fn slots_are_reused_after_completion_and_cancel() {
+        let mut cpu = Cpu::new(1e6);
+        for round in 0..100u32 {
+            assert!(cpu.submit_shared(cpu.last, round, 1_000.0).is_none());
+            if round % 2 == 0 {
+                let t = cpu.next_completion().unwrap();
+                assert_eq!(cpu.advance(t), vec![round]);
+            } else {
+                assert_eq!(cpu.cancel_shared_where(|_| true), vec![round]);
+            }
+        }
+        assert!(cpu.is_idle());
+        assert!(
+            cpu.slots.len() <= 2,
+            "slab grew to {} for 1 concurrent job",
+            cpu.slots.len()
+        );
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! asynchronous write-back keeps up with demand. Service times are sampled by
 //! the caller (uniform in `[MinDiskTime, MaxDiskTime]`) and attached to the
 //! request at submission.
+//!
+//! Completion instants are exact: the in-service request stores its absolute
+//! `done_at`, so [`DiskArray::next_completion`] never drifts between calls.
+//! The owner schedules one cancellable calendar event per array at that
+//! instant and withdraws it whenever a new submission changes the prediction
+//! (a queued request can only *extend* the schedule; an earlier completion
+//! can only appear when an idle disk accepts work).
 
 use denet::{BusyTracker, SimDuration, SimTime};
 use std::collections::VecDeque;

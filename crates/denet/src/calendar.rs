@@ -1,27 +1,73 @@
-//! The event calendar: a priority queue of future events.
+//! The event calendar: a priority queue of future events, with token-based
+//! cancellation.
 //!
 //! Events scheduled for the same instant are delivered in the order they were
 //! scheduled (FIFO tie-breaking via a monotone sequence number), which makes
 //! simulation runs fully deterministic for a given seed.
 //!
-//! Internally this is an **indirect 4-ary heap**: the heap itself holds only
-//! `(packed key, slot)` pairs — the key is a single `u128`
-//! (`time << 64 | seq`), so every comparison is one integer compare — while
-//! the event payloads sit in a slab indexed by `slot`. Sifting therefore
-//! moves 32-byte `Copy` entries (with hole-style writes, not swaps) no
-//! matter how large the event type is; each event itself is moved exactly
-//! twice, into the slab on schedule and out on pop. This is what makes the
-//! calendar fast for the simulator, whose `Event` enum is an order of
-//! magnitude wider than the heap entry. The previous implementation
-//! (`std::collections::BinaryHeap` over inline entries) is kept alive as a
-//! baseline in the `calendar` benches of `crates/bench/benches/components.rs`
-//! so the data-structure choice stays justified by a live number. The pop
-//! order is **identical** — ascending packed `(time, seq)` is a total
-//! order — so simulation determinism is unaffected by the representation.
-//! All three backing `Vec`s retain their capacity across pops, so a
-//! warmed-up calendar schedules without allocating.
+//! # Winning configuration (measured)
+//!
+//! Internally this is a **4-ary min-heap of inline `(packed key, event)`
+//! entries**. The key is a single `u128` (`time << 64 | seq`), so every
+//! comparison is one integer compare; sifting uses hole-style moves (the
+//! displaced entry is held out of the array and written exactly once at its
+//! final position), so each level of the heap costs one entry move, never a
+//! three-move swap. Two details matter enough to show up in the benches:
+//! `pop` reads the root out and sifts the former last leaf down *from the
+//! hole* (no write-then-reread of slot 0), and the min-of-children scan is
+//! unrolled for full interior nodes — together worth ~1.5x on
+//! `calendar/schedule_pop_10k` over the naive formulation.
+//!
+//! Two earlier configurations are retired, and the numbers that retired them
+//! live in the `calendar` benches of `crates/bench/benches/components.rs`
+//! (committed in `BENCH_core.json`):
+//!
+//! * **`std::collections::BinaryHeap` over `(Reverse(time), Reverse(seq),
+//!   event)`** — kept alive as the `schedule_pop_10k_binaryheap_baseline`
+//!   bench. The inline 4-ary heap beats it ~1.25x on bulk load/drain
+//!   (537µs vs 672µs per 10k schedule+pop pairs on the reference machine).
+//! * **An indirect heap** (heap of `(key, slot)` pairs pointing into a slab
+//!   of payloads). The indirection was meant to spare sifts from moving wide
+//!   events, but for every event type in this workspace (the simulator's
+//!   `Event` is 32 bytes; bench payloads are 8) the two dependent slab
+//!   accesses per schedule/pop cost more than moving the payload inline:
+//!   the retired indirect variant measured 0.44x the inline heap on
+//!   `schedule_pop_10k` and 0.69x on `interleaved_churn_50k` (same machine,
+//!   PR-over-PR), and lost to the `BinaryHeap` baseline outright. Inline
+//!   entries win for payloads up to at least ~32 bytes; revisit indirection
+//!   only if an event type grows well past that.
+//!
+//! `ARITY = 4` is likewise bench-justified (same machine, same session):
+//! on `schedule_pop_10k` 2-ary measured 743µs, 4-ary 537µs, 8-ary 605µs;
+//! on `interleaved_churn_50k` the three are within ~7% with 4-ary ahead.
+//! Halving the sift depth pays; quadrupling the per-level comparisons does
+//! not. Wegener's sift-down-to-bottom variant (as in `std`) was also tried
+//! and lost ~7% at this arity — with the depth already halved, the saved
+//! "done yet?" compares do not cover the extra leaf-to-position walk.
+//!
+//! # Cancellation
+//!
+//! [`schedule_keyed`](EventCalendar::schedule_keyed) returns an
+//! [`EventToken`]; [`cancel`](EventCalendar::cancel) withdraws the event so
+//! it never fires. Cancellation is *lazy*: the entry stays in the heap and
+//! its sequence number is recorded in a small tombstone set that pops consult
+//! on the way out — O(1) per cancel, no heap restructuring. [`pop`]
+//! (EventCalendar::pop) and [`peek_time`](EventCalendar::peek_time) discard
+//! tombstoned entries as they surface, and [`len`](EventCalendar::len) /
+//! [`is_empty`](EventCalendar::is_empty) count only live events, so
+//! cancelled events are never observable. This is what lets the simulator
+//! withdraw a superseded completion prediction outright instead of letting
+//! the event fire and filtering it at the handler.
+//!
+//! All backing storage retains its capacity across pops, so a warmed-up
+//! calendar schedules without allocating.
 
+use crate::fxhash::FxHashSet;
 use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::mem::ManuallyDrop;
+use std::ptr;
 
 /// Packed priority: earlier time first, FIFO within a time.
 #[inline]
@@ -29,7 +75,41 @@ fn pack(time: SimTime, seq: u64) -> u128 {
     ((time.0 as u128) << 64) | seq as u128
 }
 
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime((key >> 64) as u64)
+}
+
 const ARITY: usize = 4;
+
+/// Handle to a pending event scheduled with
+/// [`schedule_keyed`](EventCalendar::schedule_keyed), redeemable once with
+/// [`cancel`](EventCalendar::cancel).
+///
+/// A token identifies exactly one scheduling (the sequence number inside is
+/// never reused), so cancelling it can never hit a different event. The
+/// contract is that a token is dead once its event has been **delivered** by
+/// `pop`; cancelling a delivered token is a caller bug (callers that hold
+/// tokens must clear them when the event fires). `cancel` rejects the easy
+/// case of a token whose timestamp is already in the past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken {
+    key: u128,
+}
+
+impl EventToken {
+    /// The instant this token's event is scheduled to fire.
+    #[inline]
+    pub fn time(self) -> SimTime {
+        unpack_time(self.key)
+    }
+}
+
+/// One heap entry: packed key plus the payload, stored inline.
+struct Entry<E> {
+    key: u128,
+    event: E,
+}
 
 /// A deterministic discrete-event calendar.
 ///
@@ -38,17 +118,24 @@ const ARITY: usize = 4;
 /// let mut cal = EventCalendar::new();
 /// cal.schedule(SimTime(20), "late");
 /// cal.schedule(SimTime(10), "early");
+/// let doomed = cal.schedule_keyed(SimTime(15), "cancelled");
+/// assert!(cal.cancel(doomed));
 /// assert_eq!(cal.pop(), Some((SimTime(10), "early")));
 /// assert_eq!(cal.pop(), Some((SimTime(20), "late")));
 /// assert_eq!(cal.pop(), None);
 /// ```
 pub struct EventCalendar<E> {
-    /// 4-ary min-heap of `(packed key, slot)`, rooted at index 0.
-    heap: Vec<(u128, u32)>,
-    /// Event payloads; `heap` entries point into this slab.
-    slots: Vec<Option<E>>,
-    /// Vacated slab positions available for reuse.
-    free: Vec<u32>,
+    /// 4-ary min-heap of inline entries, rooted at index 0.
+    heap: Vec<Entry<E>>,
+    /// Sequence numbers of cancelled-but-not-yet-removed entries. Seqs are
+    /// globally unique, so the low 64 bits of a key identify an entry.
+    cancelled: FxHashSet<u64>,
+    /// Min-heap mirror of `cancelled` holding full keys. Every tombstoned
+    /// key still sits in the main heap, so when the popped root is a
+    /// tombstone it is necessarily the *minimum* tombstoned key — pop can
+    /// detect tombstones with one u128 compare against this heap's root
+    /// instead of a hash probe per delivered event.
+    cancelled_keys: BinaryHeap<Reverse<u128>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -64,8 +151,12 @@ impl<E> EventCalendar<E> {
     pub fn new() -> Self {
         EventCalendar {
             heap: Vec::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            // Tombstones churn (insert on cancel, remove when the entry
+            // surfaces), and hashbrown clears accumulated delete markers by
+            // rehashing in place once the table fills. A roomy table makes
+            // those cleanups ~20x rarer at a cost of a few KiB.
+            cancelled: FxHashSet::with_capacity_and_hasher(1024, Default::default()),
+            cancelled_keys: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -100,56 +191,119 @@ impl<E> EventCalendar<E> {
         self.push(time, event);
     }
 
+    /// Schedule `event` at `time` and return a token that can later
+    /// [`cancel`](Self::cancel) it. Ordering and determinism are identical to
+    /// [`schedule`](Self::schedule); only the ability to withdraw differs.
+    pub fn schedule_keyed(&mut self, time: SimTime, event: E) -> EventToken {
+        assert!(
+            time >= self.now,
+            "attempt to schedule an event at {time} before the current clock {now}",
+            now = self.now
+        );
+        EventToken {
+            key: self.push(time, event),
+        }
+    }
+
+    /// Withdraw a pending event: it will never be delivered by `pop`.
+    ///
+    /// Returns `true` if the event was withdrawn. Returns `false` (and does
+    /// nothing) for a token whose timestamp is already behind the clock —
+    /// its event has necessarily been delivered. Cancelling the same token
+    /// twice is also a no-op returning `false`.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if unpack_time(token.key) < self.now {
+            return false;
+        }
+        debug_assert!(
+            self.heap.iter().any(|e| e.key == token.key),
+            "cancel() of a token whose event was already delivered"
+        );
+        if self.cancelled.insert(token.key as u64) {
+            self.cancelled_keys.push(Reverse(token.key));
+            true
+        } else {
+            false
+        }
+    }
+
     #[inline]
-    fn push(&mut self, time: SimTime, event: E) {
+    fn push(&mut self, time: SimTime, event: E) -> u128 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize] = Some(event);
-                s
-            }
-            None => {
-                self.slots.push(Some(event));
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.heap.push((0, 0)); // placeholder; overwritten by the sift below
-        self.sift_up(self.heap.len() - 1, (pack(time, seq), slot));
+        let key = pack(time, seq);
+        self.heap.push(Entry { key, event });
+        // SAFETY: the entry was just pushed, so `len - 1` is in bounds.
+        unsafe { self.sift_up(self.heap.len() - 1) };
+        key
     }
 
-    /// Remove and return the earliest event, advancing the clock to its time.
+    /// Remove and return the earliest live event, advancing the clock to its
+    /// time. Tombstoned (cancelled) entries are discarded on the way.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let &(key, slot) = self.heap.first()?;
-        let event = self.slots[slot as usize].take().expect("slot live");
-        self.free.push(slot);
-        let last = self.heap.pop().expect("non-empty");
-        if !self.heap.is_empty() {
-            self.sift_down(0, last);
+        loop {
+            let entry = self.pop_top()?;
+            // One u128 compare decides liveness: the popped entry is the
+            // heap minimum, so if it is tombstoned it must be the smallest
+            // tombstoned key (see `cancelled_keys`).
+            if let Some(&Reverse(min)) = self.cancelled_keys.peek() {
+                if entry.key == min {
+                    self.cancelled_keys.pop();
+                    self.cancelled.remove(&(entry.key as u64));
+                    continue; // cancelled: discard and keep looking
+                }
+            }
+            let time = unpack_time(entry.key);
+            debug_assert!(time >= self.now);
+            self.now = time;
+            return Some((time, entry.event));
         }
-        let time = SimTime((key >> 64) as u64);
-        debug_assert!(time >= self.now);
-        self.now = time;
-        Some((time, event))
     }
 
-    /// The timestamp of the next event, if any, without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap
-            .first()
-            .map(|(key, _)| SimTime((key >> 64) as u64))
+    /// Remove the root entry (live or not), restoring the heap property.
+    fn pop_top(&mut self) -> Option<Entry<E>> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        // SAFETY: the heap is non-empty and 0 is its root. The root is read
+        // out and `last` sifts down from the resulting hole directly,
+        // avoiding a write-then-reread of slot 0.
+        unsafe {
+            let top = ptr::read(self.heap.as_ptr());
+            self.sift_down_from_hole(last);
+            Some(top)
+        }
+    }
+
+    /// The timestamp of the next live event, if any, without popping it.
+    /// Takes `&mut self` because tombstoned entries at the root are swept
+    /// out of the way first.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(root) = self.heap.first() {
+            if let Some(&Reverse(min)) = self.cancelled_keys.peek() {
+                if root.key == min {
+                    self.cancelled_keys.pop();
+                    self.cancelled.remove(&(root.key as u64));
+                    self.pop_top();
+                    continue;
+                }
+            }
+            return Some(unpack_time(root.key));
+        }
+        None
     }
 
     #[inline]
-    /// Number of entries.
+    /// Number of live (non-cancelled) entries.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     #[inline]
-    /// True when there are no entries.
+    /// True when there are no live entries.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (a cheap progress gauge).
@@ -158,47 +312,139 @@ impl<E> EventCalendar<E> {
         self.next_seq
     }
 
-    /// Place `entry` at the hole `i`, walking it toward the root: parents
-    /// larger than it move down into the hole, and it is written exactly
-    /// once at its final position.
-    fn sift_up(&mut self, mut i: usize, entry: (u128, u32)) {
-        while i > 0 {
-            let parent = (i - 1) / ARITY;
-            if entry.0 >= self.heap[parent].0 {
+    /// Restore the heap property for the entry at `i` by walking it toward
+    /// the root: parents larger than it move down into the hole, and it is
+    /// written exactly once at its final position.
+    ///
+    /// # Safety
+    /// `i` must be in bounds.
+    unsafe fn sift_up(&mut self, i: usize) {
+        let mut hole = Hole::new(&mut self.heap, i);
+        while hole.pos > 0 {
+            let parent = (hole.pos - 1) / ARITY;
+            if hole.key() >= hole.get(parent).key {
                 break;
             }
-            self.heap[i] = self.heap[parent];
-            i = parent;
+            hole.move_to(parent);
         }
-        self.heap[i] = entry;
     }
 
-    /// Place `entry` at the hole `i`, walking it toward the leaves past any
-    /// smaller children (hole-style, like `sift_up`).
-    fn sift_down(&mut self, mut i: usize, entry: (u128, u32)) {
+    /// Sift `elt` down from a hole at the root (slot 0, whose previous
+    /// content the caller has already read out) to its final position,
+    /// stepping past smaller children. The min-of-children scan is unrolled
+    /// for full interior nodes — the dynamic trip count of the general loop
+    /// otherwise defeats the optimizer on the hottest path.
+    ///
+    /// # Safety
+    /// The heap must be non-empty, with slot 0's content moved out.
+    unsafe fn sift_down_from_hole(&mut self, elt: Entry<E>) {
         let len = self.heap.len();
+        let mut hole = Hole::with_elt(&mut self.heap, 0, elt);
         loop {
-            let first_child = i * ARITY + 1;
+            let first_child = hole.pos * ARITY + 1;
             if first_child >= len {
                 break;
             }
-            let last_child = (first_child + ARITY).min(len);
             let mut min = first_child;
-            let mut min_key = self.heap[first_child].0;
-            for c in first_child + 1..last_child {
-                let k = self.heap[c].0;
-                if k < min_key {
-                    min = c;
-                    min_key = k;
+            let mut min_key = hole.get(first_child).key;
+            if first_child + ARITY <= len {
+                for c in first_child + 1..first_child + ARITY {
+                    let k = hole.get(c).key;
+                    if k < min_key {
+                        min = c;
+                        min_key = k;
+                    }
+                }
+            } else {
+                for c in first_child + 1..len {
+                    let k = hole.get(c).key;
+                    if k < min_key {
+                        min = c;
+                        min_key = k;
+                    }
                 }
             }
-            if min_key >= entry.0 {
+            if min_key >= hole.key() {
                 break;
             }
-            self.heap[i] = self.heap[min];
-            i = min;
+            hole.move_to(min);
         }
-        self.heap[i] = entry;
+    }
+}
+
+/// A hole in a heap slice: the element at `pos` has been moved out and is
+/// held in `elt`; `move_to` shifts another element into the hole, and the
+/// held element is written back at the final position on drop. This is the
+/// standard panic-safe one-move-per-level sift (as in `std`'s `BinaryHeap`);
+/// key comparisons cannot panic, so the drop-based write-back is simply the
+/// single exit path.
+struct Hole<'a, E> {
+    data: &'a mut [Entry<E>],
+    elt: ManuallyDrop<Entry<E>>,
+    pos: usize,
+}
+
+impl<'a, E> Hole<'a, E> {
+    /// # Safety
+    /// `pos` must be in bounds.
+    unsafe fn new(data: &'a mut [Entry<E>], pos: usize) -> Self {
+        debug_assert!(pos < data.len());
+        let elt = ptr::read(data.get_unchecked(pos));
+        Hole {
+            data,
+            elt: ManuallyDrop::new(elt),
+            pos,
+        }
+    }
+
+    /// A hole at `pos` filled with an externally supplied element (the slot's
+    /// previous content must already have been moved out by the caller).
+    ///
+    /// # Safety
+    /// `pos` must be in bounds and its slot logically vacated.
+    unsafe fn with_elt(data: &'a mut [Entry<E>], pos: usize, elt: Entry<E>) -> Self {
+        debug_assert!(pos < data.len());
+        Hole {
+            data,
+            elt: ManuallyDrop::new(elt),
+            pos,
+        }
+    }
+
+    #[inline]
+    fn key(&self) -> u128 {
+        self.elt.key
+    }
+
+    /// # Safety
+    /// `index` must be in bounds and not equal to `pos`.
+    #[inline]
+    unsafe fn get(&self, index: usize) -> &Entry<E> {
+        debug_assert!(index != self.pos && index < self.data.len());
+        self.data.get_unchecked(index)
+    }
+
+    /// Move the element at `index` into the hole; `index` becomes the hole.
+    ///
+    /// # Safety
+    /// `index` must be in bounds and not equal to `pos`.
+    #[inline]
+    unsafe fn move_to(&mut self, index: usize) {
+        debug_assert!(index != self.pos && index < self.data.len());
+        let ptr = self.data.as_mut_ptr();
+        ptr::copy_nonoverlapping(ptr.add(index), ptr.add(self.pos), 1);
+        self.pos = index;
+    }
+}
+
+impl<E> Drop for Hole<'_, E> {
+    #[inline]
+    fn drop(&mut self) {
+        // Write the held element into the final hole position.
+        unsafe {
+            let pos = self.pos;
+            ptr::copy_nonoverlapping(&*self.elt, self.data.get_unchecked_mut(pos), 1);
+        }
     }
 }
 
@@ -285,7 +531,64 @@ mod tests {
     }
 
     #[test]
-    fn slab_slots_are_reused_under_churn() {
+    fn cancelled_events_never_fire() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(10), 1);
+        let tok = cal.schedule_keyed(SimTime(20), 2);
+        cal.schedule(SimTime(30), 3);
+        assert!(cal.cancel(tok));
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.pop(), Some((SimTime(10), 1)));
+        assert_eq!(cal.pop(), Some((SimTime(30), 3)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_fired_tokens() {
+        let mut cal = EventCalendar::new();
+        let tok = cal.schedule_keyed(SimTime(5), "x");
+        assert!(cal.cancel(tok));
+        assert!(!cal.cancel(tok), "second cancel must be a no-op");
+        let tok2 = cal.schedule_keyed(SimTime(7), "y");
+        assert_eq!(cal.pop(), Some((SimTime(7), "y")));
+        cal.schedule(SimTime(9), "z");
+        assert_eq!(cal.pop(), Some((SimTime(9), "z")));
+        // tok2's event fired and the clock moved past it: cancel refuses.
+        assert!(!cal.cancel(tok2));
+    }
+
+    #[test]
+    fn cancel_keeps_peek_and_len_exact() {
+        let mut cal = EventCalendar::new();
+        let t1 = cal.schedule_keyed(SimTime(10), 1);
+        let t2 = cal.schedule_keyed(SimTime(20), 2);
+        cal.schedule(SimTime(30), 3);
+        // Cancel the root: peek must immediately show the next live event.
+        assert!(cal.cancel(t1));
+        assert_eq!(cal.peek_time(), Some(SimTime(20)));
+        assert_eq!(cal.len(), 2);
+        // Cancel a buried entry, then pop down to it: it must be skipped.
+        assert!(cal.cancel(t2));
+        assert_eq!(cal.peek_time(), Some(SimTime(30)));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop(), Some((SimTime(30), 3)));
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_at_current_instant_works() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(10), 1);
+        let tok = cal.schedule_keyed(SimTime(10), 2);
+        assert_eq!(cal.pop(), Some((SimTime(10), 1)));
+        // The clock is now exactly at the token's time and its event is still
+        // pending: cancellation must succeed.
+        assert!(cal.cancel(tok));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn storage_capacity_is_stable_under_churn() {
         let mut cal = EventCalendar::new();
         for i in 0..8u64 {
             cal.schedule(SimTime(i), i);
@@ -297,13 +600,33 @@ mod tests {
         }
         assert_eq!(cal.len(), 8);
         assert!(
-            cal.slots.len() <= 9,
-            "slab grew to {} for 8 live events",
-            cal.slots.len()
+            cal.heap.capacity() <= 16,
+            "heap grew to capacity {} for 8 live events",
+            cal.heap.capacity()
         );
     }
 
-    /// The indirect heap must pop in exactly the order the old
+    #[test]
+    fn cancel_churn_does_not_accumulate_tombstones() {
+        let mut cal = EventCalendar::new();
+        let mut tok = cal.schedule_keyed(SimTime(1), 0u64);
+        for i in 1..10_000u64 {
+            // Supersede-style churn: cancel the pending prediction, schedule
+            // the corrected one, deliver it, predict the next.
+            assert!(cal.cancel(tok));
+            cal.schedule(SimTime(i), i);
+            let (t, e) = cal.pop().unwrap();
+            assert_eq!((t, e), (SimTime(i), i));
+            tok = cal.schedule_keyed(SimTime(i + 1), i);
+        }
+        assert!(
+            cal.cancelled.len() <= 1,
+            "tombstones accumulated: {}",
+            cal.cancelled.len()
+        );
+    }
+
+    /// The inline heap must pop in exactly the order the old
     /// `BinaryHeap<(time, seq)>` implementation did: ascending packed key.
     /// Simulation determinism (bit-identical `RunReport`s across the swap)
     /// rides on this property.
@@ -344,5 +667,30 @@ mod tests {
                 assert!(w[1].1 > w[0].1, "FIFO violated within {:?}", w[0].0);
             }
         }
+    }
+
+    /// Payloads with heap allocations must be dropped exactly once through
+    /// the unsafe hole sifts and lazy cancellation.
+    #[test]
+    fn owning_payloads_are_not_leaked_or_double_dropped() {
+        use std::rc::Rc;
+        let counter = Rc::new(());
+        let mut cal = EventCalendar::new();
+        let mut toks = Vec::new();
+        for i in 0..100u64 {
+            toks.push(cal.schedule_keyed(SimTime(i % 13), Rc::clone(&counter)));
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(cal.cancel(*t));
+            }
+        }
+        let mut delivered = 0;
+        while cal.pop().is_some() {
+            delivered += 1;
+        }
+        assert_eq!(delivered, 100 - 34);
+        drop(cal);
+        assert_eq!(Rc::strong_count(&counter), 1, "payloads leaked");
     }
 }

@@ -22,7 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use calendar::EventCalendar;
+pub use calendar::{EventCalendar, EventToken};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use stats::{BatchMeans, BusyTracker, RateCounter, Tally, TimeWeighted};

@@ -1,7 +1,51 @@
 //! Property-based tests for the simulation engine.
 
-use denet::{EventCalendar, SimRng, SimTime, Tally, TimeWeighted};
+use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime, Tally, TimeWeighted};
 use proptest::prelude::*;
+
+/// One step of a calendar/reference interleaving. Delays are relative to the
+/// calendar's current clock so generated schedules are always legal (never
+/// in the past); the tiny delay range forces heavy time collisions, which
+/// exercises the FIFO tie-break.
+#[derive(Debug, Clone)]
+enum CalOp {
+    /// Plain `schedule` at `now + delay` µs.
+    Schedule(u64),
+    /// `schedule_keyed` at `now + delay` µs, retaining the token.
+    ScheduleKeyed(u64),
+    /// Cancel the pending token at `index % pending.len()` (no-op when no
+    /// tokens are pending).
+    Cancel(usize),
+    /// Pop once from both structures and compare.
+    Pop,
+}
+
+fn cal_op_strategy() -> impl Strategy<Value = CalOp> {
+    prop_oneof![
+        3 => (0u64..50).prop_map(CalOp::Schedule),
+        3 => (0u64..50).prop_map(CalOp::ScheduleKeyed),
+        2 => (0usize..1024).prop_map(CalOp::Cancel),
+        3 => Just(CalOp::Pop),
+    ]
+}
+
+/// Reference entry: arrival order doubles as the payload identity.
+struct RefEntry {
+    time: SimTime,
+    arrival: u64,
+}
+
+/// The naive model: scan the whole vector for the earliest time, FIFO
+/// (arrival order) on ties.
+fn ref_pop(entries: &mut Vec<RefEntry>) -> Option<(SimTime, u64)> {
+    let best = entries
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| (e.time, e.arrival))
+        .map(|(i, _)| i)?;
+    let e = entries.remove(best);
+    Some((e.time, e.arrival))
+}
 
 proptest! {
     /// The calendar delivers events in nondecreasing time order and FIFO
@@ -103,6 +147,76 @@ proptest! {
         for _ in 0..100 {
             let x = rng.exponential(mean);
             prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    /// Model test: under arbitrary interleavings of `schedule`,
+    /// `schedule_keyed`, `cancel`, and `pop`, the calendar must behave
+    /// exactly like the naive scan-the-vector reference — time order, FIFO
+    /// within an instant, cancelled events suppressed, and `len()` counting
+    /// live events exactly.
+    #[test]
+    fn calendar_matches_sorted_vec_reference(
+        ops in prop::collection::vec(cal_op_strategy(), 1..200),
+    ) {
+        let mut cal: EventCalendar<u64> = EventCalendar::new();
+        let mut reference: Vec<RefEntry> = Vec::new();
+        // Tokens whose events have neither fired nor been cancelled, with
+        // the arrival id they were scheduled under.
+        let mut pending: Vec<(EventToken, u64)> = Vec::new();
+        let mut arrivals: u64 = 0;
+
+        for op in ops {
+            match op {
+                CalOp::Schedule(delay_us) => {
+                    let at = cal.now() + SimDuration::from_micros(delay_us);
+                    cal.schedule(at, arrivals);
+                    reference.push(RefEntry { time: at, arrival: arrivals });
+                    arrivals += 1;
+                }
+                CalOp::ScheduleKeyed(delay_us) => {
+                    let at = cal.now() + SimDuration::from_micros(delay_us);
+                    let tok = cal.schedule_keyed(at, arrivals);
+                    pending.push((tok, arrivals));
+                    reference.push(RefEntry { time: at, arrival: arrivals });
+                    arrivals += 1;
+                }
+                CalOp::Cancel(index) => {
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let (tok, id) = pending.swap_remove(index % pending.len());
+                    prop_assert!(cal.cancel(tok), "live token must cancel");
+                    let pos = reference
+                        .iter()
+                        .position(|e| e.arrival == id)
+                        .expect("pending token implies a reference entry");
+                    reference.swap_remove(pos);
+                }
+                CalOp::Pop => {
+                    let expected = ref_pop(&mut reference);
+                    let got = cal.pop();
+                    prop_assert_eq!(got, expected, "pop disagrees with the reference");
+                    if let Some((_, id)) = got {
+                        // The token (if any) is spent now; forget it so a
+                        // later Cancel cannot target a delivered event.
+                        pending.retain(|(_, p)| *p != id);
+                    }
+                }
+            }
+            prop_assert_eq!(cal.len(), reference.len(), "live-event counts diverged");
+            prop_assert_eq!(cal.is_empty(), reference.is_empty());
+        }
+
+        // Drain both to the end: full order equality, including ties and
+        // surviving cancellations.
+        loop {
+            let expected = ref_pop(&mut reference);
+            let got = cal.pop();
+            prop_assert_eq!(got, expected);
+            if got.is_none() {
+                break;
+            }
         }
     }
 }
