@@ -8,10 +8,13 @@
 //!   --smoke     two think times, very short runs (CI)
 //!   --threads   worker threads (default: all cores)
 //!   --out DIR   also write <DIR>/<figure>.txt and <DIR>/<figure>.json
-//!   FIGURE      any of fig02..fig17, e17..e24 (default: all)
+//!   --crash-rate R   e25 only: add R to the swept per-node crash rates
+//!                    (repeatable; replaces the default grid)
+//!   --recovery-ms N  e25 only: crash-recovery delay in milliseconds
+//!   FIGURE      any of fig02..fig17, e17..e25 (default: all)
 //! ```
 
-use ddbm_experiments::{chart, figures, FigureResult, Profile, Runner};
+use ddbm_experiments::{chart, extensions, figures, FigureResult, Profile, Runner};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -23,6 +26,8 @@ struct Args {
     verbose: bool,
     charts: bool,
     ids: Vec<String>,
+    crash_rates: Vec<f64>,
+    recovery_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
     let mut verbose = false;
     let mut charts = false;
     let mut ids = Vec::new();
+    let mut crash_rates = Vec::new();
+    let mut recovery_ms = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -58,10 +65,23 @@ fn parse_args() -> Result<Args, String> {
             }
             "--verbose" | "-v" => verbose = true,
             "--charts" => charts = true,
+            "--crash-rate" => {
+                let v = argv.next().ok_or("--crash-rate needs a value")?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad crash rate {v}"))?;
+                if !(0.0..=10.0).contains(&rate) {
+                    return Err(format!("crash rate {rate} out of range [0, 10]"));
+                }
+                crash_rates.push(rate);
+            }
+            "--recovery-ms" => {
+                let v = argv.next().ok_or("--recovery-ms needs a value")?;
+                recovery_ms = Some(v.parse().map_err(|_| format!("bad recovery delay {v}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full|--quick|--smoke] [--threads N] \
-                     [--out DIR] [--charts] [--verbose] [FIGURE ...]\nfigures: {}",
+                     [--out DIR] [--charts] [--verbose] \
+                     [--crash-rate R ...] [--recovery-ms N] [FIGURE ...]\nfigures: {}",
                     figures::FIGURE_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -73,6 +93,11 @@ fn parse_args() -> Result<Args, String> {
     if ids.is_empty() {
         ids = figures::FIGURE_IDS.iter().map(|s| s.to_string()).collect();
     }
+    if (!crash_rates.is_empty() || recovery_ms.is_some()) && !ids.iter().any(|id| id == "e25") {
+        return Err(
+            "--crash-rate/--recovery-ms only apply to e25; add it to the figure list".into(),
+        );
+    }
     Ok(Args {
         profile,
         profile_name,
@@ -81,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
         verbose,
         charts,
         ids,
+        crash_rates,
+        recovery_ms,
     })
 }
 
@@ -122,7 +149,24 @@ fn main() {
     );
     let t0 = Instant::now();
     for id in &args.ids {
-        let figs = figures::by_id(&runner, &args.profile, id).expect("id validated in parse_args");
+        let figs = if id == "e25" {
+            // e25 takes its fault grid from the command line when given.
+            let rates = if args.crash_rates.is_empty() {
+                extensions::E25_CRASH_RATES.to_vec()
+            } else {
+                let mut r = args.crash_rates.clone();
+                r.sort_by(|a, b| a.total_cmp(b));
+                r.dedup();
+                r
+            };
+            let recovery = denet::SimDuration::from_millis(
+                args.recovery_ms.unwrap_or(extensions::E25_RECOVERY_MS),
+            );
+            let (a, b) = extensions::e25_fault_study(&runner, &args.profile, &rates, recovery);
+            vec![a, b]
+        } else {
+            figures::by_id(&runner, &args.profile, id).expect("id validated in parse_args")
+        };
         for fig in &figs {
             println!("{}", fig.to_table());
             if args.charts {

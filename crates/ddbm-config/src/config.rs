@@ -1,6 +1,7 @@
 //! The complete configuration of one simulation run, with presets for every
 //! experiment in the paper.
 
+use crate::fault::FaultParams;
 use crate::ids::NodeId;
 use crate::params::{Algorithm, DatabaseParams, SimControl, SystemParams, WorkloadParams};
 use crate::placement::Placement;
@@ -20,6 +21,9 @@ pub struct Config {
     pub algorithm: Algorithm,
     /// Control.
     pub control: SimControl,
+    /// Fault injection (extension; defaults to fault-free).
+    #[serde(default)]
+    pub faults: FaultParams,
 }
 
 /// A configuration error found by [`Config::validate`].
@@ -50,6 +54,7 @@ impl Config {
             workload: WorkloadParams::paper_defaults(think_time_secs),
             algorithm,
             control: SimControl::default(),
+            faults: FaultParams::default(),
         }
     }
 
@@ -178,6 +183,9 @@ impl Config {
         {
             return err("2PL-T requires a positive lock_timeout".into());
         }
+        if let Err(m) = self.faults.validate() {
+            return err(m);
+        }
         Ok(())
     }
 
@@ -251,8 +259,12 @@ mod tests {
         c.workload.max_pages_per_file = 10_000;
         assert!(c.validate().is_err());
 
-        let mut c = base;
+        let mut c = base.clone();
         c.control.measure_commits = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.faults.crash_rate = f64::NAN;
         assert!(c.validate().is_err());
     }
 

@@ -1,0 +1,303 @@
+//! Deterministic fault injection: parameters and the materialized plan.
+//!
+//! The paper's machine is fault-free (§3.5: zero-loss ordered messaging,
+//! disks that never stall), so fault injection is strictly an extension: with
+//! the default [`FaultParams`] (all rates zero) the simulator draws nothing
+//! from the fault streams and schedules no fault events, keeping the
+//! fault-free event sequence — and therefore the determinism golden —
+//! bit-identical.
+//!
+//! Faults come in two shapes:
+//!
+//! * **Planned windows** ([`FaultPlan`]): node crash/recovery windows and
+//!   disk-stall intervals, materialized up front from the dedicated
+//!   `"fault-plan"` RNG stream so the whole schedule is a pure function of
+//!   `(params, machine size, horizon, master seed)`.
+//! * **Per-message faults**: drop (retransmit-after-backoff) and extra-delay
+//!   decisions drawn online from the `"fault-msg"` stream at delivery time.
+//!
+//! Both streams derive from the master seed via [`denet::SimRng::derive`],
+//! so enabling faults never perturbs the think/workload/processing/disk
+//! streams.
+
+use crate::ids::NodeId;
+use denet::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the fault model. All rates default to zero (fault-free).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultParams {
+    /// Mean node crashes per simulated second, per processing node (Poisson).
+    /// The host never crashes: the paper's terminals and workload generator
+    /// live there, and coordinator failure is out of scope for this model.
+    #[serde(default)]
+    pub crash_rate: f64,
+    /// Downtime per crash before the node restarts and its partitions are
+    /// re-admitted.
+    #[serde(default)]
+    pub recovery: SimDuration,
+    /// Probability a message is dropped in transit. Dropped messages are
+    /// retransmitted after [`FaultParams::msg_retry`] (at-least-once
+    /// delivery), so drops add latency, never lose protocol state.
+    #[serde(default)]
+    pub msg_drop_prob: f64,
+    /// Probability a message is delayed by a uniform extra latency in
+    /// `(0, msg_delay_max]`.
+    #[serde(default)]
+    pub msg_delay_prob: f64,
+    /// Maximum extra latency for a delayed message.
+    #[serde(default)]
+    pub msg_delay_max: SimDuration,
+    /// Retransmit backoff for dropped messages and messages addressed to a
+    /// node that is currently down.
+    #[serde(default)]
+    pub msg_retry: SimDuration,
+    /// Mean disk-stall intervals per simulated second, per processing node
+    /// (Poisson). During a stall every disk on the node withholds
+    /// completions.
+    #[serde(default)]
+    pub disk_stall_rate: f64,
+    /// Duration of one disk stall.
+    #[serde(default)]
+    pub disk_stall: SimDuration,
+    /// Coordinator response timeout for the commit protocol: a transaction
+    /// sitting in a commit phase this long presumes failure — in the vote
+    /// phase it presumes abort; in the decision phases it retransmits the
+    /// decision to unacknowledged cohorts.
+    #[serde(default)]
+    pub cohort_timeout: SimDuration,
+}
+
+impl FaultParams {
+    /// True when any fault source is enabled. The simulator gates every
+    /// fault-path branch, RNG draw, and timeout event on this, which is what
+    /// keeps the fault-free event sequence bit-identical to a build without
+    /// the subsystem.
+    pub fn any(&self) -> bool {
+        self.crash_rate > 0.0
+            || self.msg_drop_prob > 0.0
+            || self.msg_delay_prob > 0.0
+            || self.disk_stall_rate > 0.0
+    }
+
+    /// Parameter sanity, reported through [`crate::ConfigError`] by
+    /// [`crate::Config::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_rate = |name: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and >= 0, got {v}"))
+            }
+        };
+        finite_rate("faults.crash_rate", self.crash_rate)?;
+        finite_rate("faults.disk_stall_rate", self.disk_stall_rate)?;
+        for (name, p) in [
+            ("faults.msg_drop_prob", self.msg_drop_prob),
+            ("faults.msg_delay_prob", self.msg_delay_prob),
+        ] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if self.crash_rate > 0.0 && self.recovery.is_zero() {
+            return Err("faults.recovery must be positive when crashes are enabled".into());
+        }
+        if self.disk_stall_rate > 0.0 && self.disk_stall.is_zero() {
+            return Err("faults.disk_stall must be positive when stalls are enabled".into());
+        }
+        if self.any() {
+            if self.msg_retry.is_zero() {
+                return Err("faults.msg_retry must be positive when faults are enabled".into());
+            }
+            if self.cohort_timeout.is_zero() {
+                return Err(
+                    "faults.cohort_timeout must be positive when faults are enabled".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultParams {
+    fn default() -> FaultParams {
+        FaultParams {
+            crash_rate: 0.0,
+            recovery: SimDuration::from_secs_f64(2.0),
+            msg_drop_prob: 0.0,
+            msg_delay_prob: 0.0,
+            msg_delay_max: SimDuration::from_millis(50),
+            msg_retry: SimDuration::from_millis(100),
+            disk_stall_rate: 0.0,
+            disk_stall: SimDuration::from_millis(500),
+            cohort_timeout: SimDuration::from_secs_f64(10.0),
+        }
+    }
+}
+
+/// One node crash: the node goes down at `at` and is back up at `up_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The processing node that crashes.
+    pub node: NodeId,
+    /// Crash instant.
+    pub at: SimTime,
+    /// Restart instant (`at` + recovery delay).
+    pub up_at: SimTime,
+}
+
+/// One disk-stall interval on a node's disk array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The processing node whose disks stall.
+    pub node: NodeId,
+    /// Stall start.
+    pub at: SimTime,
+    /// Instant the disks resume completing requests.
+    pub until: SimTime,
+}
+
+/// The materialized fault schedule for one run: every planned crash and disk
+/// stall, in chronological order. A pure function of its inputs — same
+/// params + seed → the identical plan, which is what makes chaos runs
+/// replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash windows, sorted by `(at, node)`.
+    pub crashes: Vec<CrashWindow>,
+    /// Disk-stall windows, sorted by `(at, node)`.
+    pub stalls: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// Materialize the schedule for `num_proc_nodes` processing nodes over
+    /// `[0, horizon)`, drawing from the `"fault-plan"` stream of
+    /// `master_seed`.
+    ///
+    /// Per node, crashes arrive as a Poisson process thinned so windows on
+    /// the same node never overlap (the next inter-arrival starts after the
+    /// recovery completes); disk stalls likewise. Windows on different nodes
+    /// may overlap freely — the protocol layer is expected to survive any
+    /// combination, including every processing node down at once.
+    pub fn generate(
+        params: &FaultParams,
+        num_proc_nodes: usize,
+        horizon: SimDuration,
+        master_seed: u64,
+    ) -> FaultPlan {
+        let mut rng = SimRng::derive(master_seed, "fault-plan");
+        let end = SimTime::ZERO + horizon;
+        let mut plan = FaultPlan::default();
+        for n in 1..=num_proc_nodes {
+            let node = NodeId(n);
+            if params.crash_rate > 0.0 {
+                let mean_gap = 1.0 / params.crash_rate;
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += SimDuration::from_secs_f64(rng.exponential(mean_gap));
+                    if t >= end {
+                        break;
+                    }
+                    let up_at = t + params.recovery;
+                    plan.crashes.push(CrashWindow { node, at: t, up_at });
+                    t = up_at;
+                }
+            }
+            if params.disk_stall_rate > 0.0 {
+                let mean_gap = 1.0 / params.disk_stall_rate;
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += SimDuration::from_secs_f64(rng.exponential(mean_gap));
+                    if t >= end {
+                        break;
+                    }
+                    let until = t + params.disk_stall;
+                    plan.stalls.push(StallWindow { node, at: t, until });
+                    t = until;
+                }
+            }
+        }
+        plan.crashes.sort_by_key(|w| (w.at, w.node.0));
+        plan.stalls.sort_by_key(|w| (w.at, w.node.0));
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_fault_free() {
+        let p = FaultParams::default();
+        assert!(!p.any());
+        assert!(p.validate().is_ok());
+        let plan = FaultPlan::generate(&p, 8, SimDuration::from_secs_f64(1000.0), 42);
+        assert!(plan.crashes.is_empty());
+        assert!(plan.stalls.is_empty());
+    }
+
+    #[test]
+    fn plan_is_reproducible_and_seed_sensitive() {
+        let p = FaultParams {
+            crash_rate: 0.02,
+            disk_stall_rate: 0.05,
+            ..FaultParams::default()
+        };
+        let h = SimDuration::from_secs_f64(2000.0);
+        let a = FaultPlan::generate(&p, 4, h, 7);
+        let b = FaultPlan::generate(&p, 4, h, 7);
+        assert_eq!(a, b);
+        assert!(!a.crashes.is_empty());
+        assert!(!a.stalls.is_empty());
+        let c = FaultPlan::generate(&p, 4, h, 8);
+        assert_ne!(a, c, "a different seed must produce a different plan");
+    }
+
+    #[test]
+    fn windows_on_one_node_never_overlap_and_stay_in_horizon() {
+        let p = FaultParams {
+            crash_rate: 0.5,
+            recovery: SimDuration::from_secs_f64(1.0),
+            disk_stall_rate: 0.5,
+            ..FaultParams::default()
+        };
+        let h = SimDuration::from_secs_f64(500.0);
+        let plan = FaultPlan::generate(&p, 3, h, 99);
+        let end = SimTime::ZERO + h;
+        for n in 1..=3 {
+            let mine: Vec<_> = plan
+                .crashes
+                .iter()
+                .filter(|w| w.node == NodeId(n))
+                .collect();
+            for w in &mine {
+                assert!(w.at < end);
+                assert!(w.up_at > w.at);
+            }
+            for pair in mine.windows(2) {
+                assert!(
+                    pair[1].at >= pair[0].up_at,
+                    "crash windows on node {n} overlap: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut p = FaultParams {
+            msg_drop_prob: 1.5,
+            ..FaultParams::default()
+        };
+        assert!(p.validate().is_err());
+        p.msg_drop_prob = 0.1;
+        p.msg_retry = SimDuration::ZERO;
+        assert!(p.validate().is_err());
+        p.msg_retry = SimDuration::from_millis(10);
+        assert!(p.validate().is_ok());
+        p.crash_rate = -1.0;
+        assert!(p.validate().is_err());
+    }
+}

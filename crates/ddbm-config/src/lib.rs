@@ -13,11 +13,13 @@
 //! plus the shared identifier types used by every other crate.
 
 pub mod config;
+pub mod fault;
 pub mod ids;
 pub mod params;
 pub mod placement;
 
 pub use config::{Config, ConfigError};
+pub use fault::{CrashWindow, FaultParams, FaultPlan, StallWindow};
 pub use ids::{FileId, NodeId, PageId, TerminalId, TxnId};
 pub use params::{
     Algorithm, DatabaseParams, ExecPattern, SimControl, SystemParams, WorkloadParams,

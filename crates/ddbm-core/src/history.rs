@@ -221,4 +221,68 @@ mod tests {
         // w1 then w2 — one edge, no cycle.
         assert!(h.check_conflict_serializability().is_ok());
     }
+
+    #[test]
+    fn same_instant_cycle_only_visible_through_seq_order() {
+        // Every operation lands in the same event slot — discrete-event
+        // simulation makes this common, e.g. two commit installs processed
+        // back to back at one instant. Ignoring `seq` and treating the ops
+        // as unordered (or ordering them arbitrarily) could miss the cycle:
+        // at t=10 the recording order is r1(a) r2(b) w2(a) w1(b), i.e.
+        // T1 →(a)→ T2 and T2 →(b)→ T1.
+        let mut h = rec();
+        h.record(TxnId(1), 1, page(1), false, SimTime(10));
+        h.record(TxnId(2), 1, page(2), false, SimTime(10));
+        h.record(TxnId(2), 1, page(1), true, SimTime(10));
+        h.record(TxnId(1), 1, page(2), true, SimTime(10));
+        h.commit(TxnId(1), 1);
+        h.commit(TxnId(2), 1);
+        let cycle = h.check_conflict_serializability().unwrap_err();
+        assert!(cycle.contains(&TxnId(1)) && cycle.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn three_txn_cycle_detected() {
+        // T1 →(a)→ T2 →(b)→ T3 →(c)→ T1: no pair conflicts both ways, so a
+        // pairwise check would pass; only the full graph search finds it.
+        let mut h = rec();
+        h.record(TxnId(1), 1, page(1), true, SimTime(10));
+        h.record(TxnId(2), 1, page(1), false, SimTime(20));
+        h.record(TxnId(2), 1, page(2), true, SimTime(30));
+        h.record(TxnId(3), 1, page(2), false, SimTime(40));
+        h.record(TxnId(3), 1, page(3), true, SimTime(50));
+        h.record(TxnId(1), 1, page(3), false, SimTime(60));
+        h.commit(TxnId(1), 1);
+        h.commit(TxnId(2), 1);
+        h.commit(TxnId(3), 1);
+        let cycle = h.check_conflict_serializability().unwrap_err();
+        assert_eq!(cycle.len(), 3, "expected the 3-cycle, got {cycle:?}");
+    }
+
+    #[test]
+    fn abort_discards_only_that_run() {
+        // A transaction restarts: run 1's ops must vanish entirely, and a
+        // commit of run 2 must carry only run 2's ops into the history.
+        let mut h = rec();
+        h.record(TxnId(1), 1, page(1), true, SimTime(10));
+        h.record(TxnId(1), 1, page(2), true, SimTime(11));
+        h.abort(TxnId(1), 1);
+        h.record(TxnId(1), 2, page(3), true, SimTime(20));
+        h.commit(TxnId(1), 2);
+        assert_eq!(h.committed_ops(), 1);
+        assert_eq!(h.committed_txns(), 1);
+        assert!(h.check_conflict_serializability().is_ok());
+    }
+
+    #[test]
+    fn commit_of_unknown_run_records_no_ops() {
+        // Committing a run that never recorded anything (a read-only commit
+        // path, or ops suppressed during warmup) must not panic and must not
+        // invent operations.
+        let mut h = rec();
+        h.commit(TxnId(9), 3);
+        assert_eq!(h.committed_ops(), 0);
+        assert_eq!(h.committed_txns(), 1);
+        assert!(h.check_conflict_serializability().is_ok());
+    }
 }

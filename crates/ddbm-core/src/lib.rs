@@ -37,6 +37,7 @@ pub mod txn;
 pub mod workload;
 
 pub use history::HistoryRecorder;
-pub use metrics::{MetricsCollector, RunReport};
-pub use simulator::{run_config, run_with_history, Simulator};
+pub use metrics::{AbortBreakdown, FaultStats, MetricsCollector, RunReport};
+pub use protocol::AbortCause;
+pub use simulator::{run_chaos, run_config, run_with_history, Simulator};
 pub use workload::{generate_template, Access, CohortSpec, TxnTemplate};

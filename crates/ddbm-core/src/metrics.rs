@@ -1,8 +1,96 @@
 //! Output metrics (paper §4.1): response time, throughput, speedups (derived
 //! by the experiment harness), abort ratio, blocking time, and utilizations.
 
+use crate::protocol::AbortCause;
 use denet::{BatchMeans, SimDuration, SimTime, Tally};
 use serde::{Deserialize, Serialize};
+
+/// Aborted runs in the measurement window, split by cause. The sum of the
+/// fields always equals the aggregate abort counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbortBreakdown {
+    /// Snoop-detected deadlock victims (2PL).
+    #[serde(default)]
+    pub deadlock: u64,
+    /// Wound-wait wounds.
+    #[serde(default)]
+    pub wound: u64,
+    /// BTO too-late rejections and wait-die "dies".
+    #[serde(default)]
+    pub timestamp: u64,
+    /// OPT certification failures.
+    #[serde(default)]
+    pub validation: u64,
+    /// 2PL-T lock-wait timeouts.
+    #[serde(default)]
+    pub lock_timeout: u64,
+    /// Fault injection: a node crash killed an in-flight cohort.
+    #[serde(default)]
+    pub node_crash: u64,
+    /// Fault injection: presumed abort on a commit-protocol response timeout.
+    #[serde(default)]
+    pub cohort_timeout: u64,
+}
+
+impl AbortBreakdown {
+    /// Count one abort of the given cause.
+    pub fn record(&mut self, cause: AbortCause) {
+        match cause {
+            AbortCause::Deadlock => self.deadlock += 1,
+            AbortCause::Wound => self.wound += 1,
+            AbortCause::Timestamp => self.timestamp += 1,
+            AbortCause::Validation => self.validation += 1,
+            AbortCause::LockTimeout => self.lock_timeout += 1,
+            AbortCause::NodeCrash => self.node_crash += 1,
+            AbortCause::CohortTimeout => self.cohort_timeout += 1,
+        }
+    }
+
+    /// Sum over all causes.
+    pub fn total(&self) -> u64 {
+        self.deadlock
+            + self.wound
+            + self.timestamp
+            + self.validation
+            + self.lock_timeout
+            + self.node_crash
+            + self.cohort_timeout
+    }
+
+    /// Aborts attributable to injected faults rather than data contention.
+    pub fn fault_induced(&self) -> u64 {
+        self.node_crash + self.cohort_timeout
+    }
+}
+
+/// Fault-injection event counters. Counted over the whole run (not reset at
+/// warmup): the fault plan spans the run, and the chaos tests assert over
+/// everything that happened, warmup included.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node crashes that took effect.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Node recoveries.
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Transactions that were mid-commit (vote or decision phase) when a
+    /// node hosting one of their cohorts crashed.
+    #[serde(default)]
+    pub mid_commit_crashes: u64,
+    /// Messages dropped in transit (each was retransmitted).
+    #[serde(default)]
+    pub msgs_dropped: u64,
+    /// Messages given extra wire latency.
+    #[serde(default)]
+    pub msgs_delayed: u64,
+    /// Messages that found their destination down and were retried.
+    #[serde(default)]
+    pub msgs_to_down_node: u64,
+    /// Disk-stall intervals that took effect.
+    #[serde(default)]
+    pub disk_stalls: u64,
+}
 
 /// Live collectors, reset at the end of warmup.
 #[derive(Debug, Clone)]
@@ -16,6 +104,10 @@ pub struct MetricsCollector {
     pub commits: u64,
     /// Aborted runs in the window.
     pub aborts: u64,
+    /// Aborted runs in the window, by cause.
+    pub aborts_by_cause: AbortBreakdown,
+    /// Fault-injection counters (whole run; never reset).
+    pub faults: FaultStats,
     /// Time cohorts spent blocked on a CC request (per blocking episode).
     pub blocking_time: Tally,
     /// Measure start.
@@ -35,6 +127,8 @@ impl MetricsCollector {
             response_time_alltime: Tally::new(),
             commits: 0,
             aborts: 0,
+            aborts_by_cause: AbortBreakdown::default(),
+            faults: FaultStats::default(),
             blocking_time: Tally::new(),
             measure_start: SimTime::ZERO,
             total_commits: 0,
@@ -52,8 +146,9 @@ impl MetricsCollector {
     }
 
     /// `record_abort`.
-    pub fn record_abort(&mut self) {
+    pub fn record_abort(&mut self, cause: AbortCause) {
         self.aborts += 1;
+        self.aborts_by_cause.record(cause);
     }
 
     /// `record_blocking`.
@@ -77,6 +172,7 @@ impl MetricsCollector {
         self.response_time.reset();
         self.commits = 0;
         self.aborts = 0;
+        self.aborts_by_cause = AbortBreakdown::default();
         self.blocking_time.reset();
         self.response_batches.reset();
         self.measure_start = now;
@@ -89,8 +185,10 @@ impl Default for MetricsCollector {
     }
 }
 
-/// The final report of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The final report of one simulation run. `PartialEq` compares the float
+/// fields exactly (no epsilon): two reports are equal only when the runs
+/// were bit-for-bit identical, which is what the determinism tests assert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Committed transactions in the measurement window.
     pub commits: u64,
@@ -127,6 +225,20 @@ pub struct RunReport {
     /// (always 0 with the paper's settings, which disable buffering).
     #[serde(default)]
     pub buffer_hit_ratio: f64,
+    /// Extension: aborts in the measurement window split by cause (all
+    /// zeros unless contention or faults caused aborts).
+    #[serde(default)]
+    pub aborts_by_cause: AbortBreakdown,
+    /// Extension: fault-injection counters over the whole run (all zeros
+    /// for fault-free configurations).
+    #[serde(default)]
+    pub fault_stats: FaultStats,
+    /// Extension: true when the run was asked to drain (stop admissions
+    /// after the commit target and wait for every live transaction to
+    /// finish) and every transaction did terminate. Always false for
+    /// ordinary runs, which stop at the commit target.
+    #[serde(default)]
+    pub drained: bool,
 }
 
 impl RunReport {
@@ -179,6 +291,9 @@ mod tests {
             measured_seconds: 100.0,
             truncated: false,
             buffer_hit_ratio: 0.0,
+            aborts_by_cause: AbortBreakdown::default(),
+            fault_stats: FaultStats::default(),
+            drained: false,
         }
     }
 
@@ -186,14 +301,51 @@ mod tests {
     fn collector_reset_clears_window_but_not_alltime() {
         let mut m = MetricsCollector::new();
         m.record_commit(SimDuration::from_millis(500));
-        m.record_abort();
+        m.record_abort(AbortCause::Deadlock);
+        m.faults.crashes += 1;
         m.reset(SimTime(1_000));
         assert_eq!(m.commits, 0);
         assert_eq!(m.aborts, 0);
+        assert_eq!(m.aborts_by_cause, AbortBreakdown::default());
+        assert_eq!(m.faults.crashes, 1, "fault counters span the whole run");
         assert_eq!(m.total_commits, 1);
         assert_eq!(m.response_time.count(), 0);
         assert_eq!(m.response_time_alltime.count(), 1);
         assert_eq!(m.measure_start, SimTime(1_000));
+    }
+
+    #[test]
+    fn abort_breakdown_tracks_every_cause_and_sums() {
+        let mut m = MetricsCollector::new();
+        let causes = [
+            AbortCause::Deadlock,
+            AbortCause::Wound,
+            AbortCause::Timestamp,
+            AbortCause::Validation,
+            AbortCause::LockTimeout,
+            AbortCause::NodeCrash,
+            AbortCause::CohortTimeout,
+        ];
+        for (i, c) in causes.iter().enumerate() {
+            for _ in 0..=i {
+                m.record_abort(*c);
+            }
+        }
+        let b = m.aborts_by_cause;
+        assert_eq!(
+            [
+                b.deadlock,
+                b.wound,
+                b.timestamp,
+                b.validation,
+                b.lock_timeout,
+                b.node_crash,
+                b.cohort_timeout
+            ],
+            [1, 2, 3, 4, 5, 6, 7]
+        );
+        assert_eq!(b.total(), m.aborts, "split must sum to the aggregate");
+        assert_eq!(b.fault_induced(), 6 + 7);
     }
 
     #[test]

@@ -16,6 +16,30 @@ pub type RunId = u32;
 /// Index of a cohort within its transaction's template.
 pub type CohortIdx = usize;
 
+/// Why a run was aborted. Carried on [`MsgKind::AbortRequest`] and recorded
+/// per cause by the metrics collector, so experiment reports can separate
+/// data-contention aborts (deadlock, wound, timestamp, validation,
+/// lock-timeout) from fault-induced ones (node crash, commit-protocol
+/// timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// 2PL: chosen as a victim by the Snoop global deadlock detector.
+    Deadlock,
+    /// Wound-wait: wounded by an older transaction.
+    Wound,
+    /// BTO too-late access, or a wait-die "die".
+    Timestamp,
+    /// OPT: failed commit-time certification.
+    Validation,
+    /// 2PL-T: lock wait exceeded `lock_timeout`.
+    LockTimeout,
+    /// Fault injection: a node crash took down an in-flight cohort.
+    NodeCrash,
+    /// Fault injection: the coordinator's presumed-abort response timeout
+    /// expired during the vote phase.
+    CohortTimeout,
+}
+
 /// A message travelling between nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -100,7 +124,14 @@ pub enum MsgKind {
     /// deadlock victim, or a cohort whose access was rejected). The
     /// coordinator applies the fatality rules (wound-wait phase-2 immunity,
     /// already-aborting dedup).
-    AbortRequest { txn: TxnId, run: RunId },
+    AbortRequest {
+        /// The transaction.
+        txn: TxnId,
+        /// The run (execution attempt) this belongs to.
+        run: RunId,
+        /// Why the abort was requested (recorded if it takes effect).
+        cause: AbortCause,
+    },
     /// Coordinator → node: kill this run's cohort and release its CC state.
     AbortCohort {
         /// The transaction.
@@ -245,4 +276,22 @@ pub enum Event {
         /// Index of the access within the cohort script.
         access: usize,
     },
+    /// Fault injection: a planned node crash begins (the node loses its CPU
+    /// and disk queues, CC state, and buffer pool; the coordinator sweeps
+    /// its in-flight cohorts).
+    NodeDown { node: NodeId },
+    /// Fault injection: a crashed node finishes its recovery delay and its
+    /// partitions are re-admitted.
+    NodeUp { node: NodeId },
+    /// Fault injection: a planned disk-stall interval begins on `node`
+    /// (completions are withheld until `until`).
+    DiskStall { node: NodeId, until: denet::SimTime },
+    /// Fault injection: the coordinator's commit-protocol response timeout
+    /// for this run expired — presume abort in the vote phase, retransmit
+    /// the decision in the decision phases.
+    CohortTimeout { txn: TxnId, run: RunId },
+    /// Fault injection: a delayed, dropped-and-retransmitted, or
+    /// addressed-to-a-down-node message (re)arrives at the network layer.
+    /// Boxed to keep the common event variants small.
+    MsgArrive { msg: Box<Message> },
 }

@@ -11,12 +11,12 @@
 
 use crate::history::HistoryRecorder;
 use crate::metrics::{MetricsCollector, RunReport};
-use crate::protocol::{CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
+use crate::protocol::{AbortCause, CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
 use crate::store::TxnStore;
 use crate::txn::{TxnPhase, TxnRuntime};
 use crate::workload::{generate_template, TxnTemplate};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
-use ddbm_config::{Algorithm, Config, ConfigError, NodeId, Placement, TxnId};
+use ddbm_config::{Algorithm, Config, ConfigError, FaultPlan, NodeId, Placement, TxnId};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
 use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime};
 use std::rc::Rc;
@@ -44,6 +44,13 @@ struct NodeState {
     cpu_dirty: bool,
     /// Same deferral flag for the disk array prediction.
     disk_dirty: bool,
+    /// Fault injection: false while the node is crashed. The host is always
+    /// up (the paper's machine has no host failures; neither does ours).
+    up: bool,
+    /// Fault injection: bumped on every crash. Cohort state tagged with an
+    /// older epoch no longer exists on this node, so retransmitted protocol
+    /// messages that refer to it must not touch the (rebuilt) CC manager.
+    epoch: u64,
 }
 
 /// State of the rotating global deadlock detector (2PL only).
@@ -82,6 +89,18 @@ pub struct Simulator {
     rng_work: SimRng,
     rng_proc: SimRng,
     rng_disk: SimRng,
+    /// Online fault draws (message drops/delays). Its own named stream so a
+    /// fault-free run consumes exactly the same values from every other
+    /// stream as before the fault subsystem existed.
+    rng_fault: SimRng,
+    /// `config.faults.any()`, hoisted: every fault branch on the hot path is
+    /// gated on this so the fault-free simulation is bit-identical to the
+    /// pre-fault-injection simulator.
+    faults_enabled: bool,
+    /// Chaos mode: after the measurement target is reached, keep the event
+    /// loop running but stop admitting new transactions, so every live
+    /// transaction can run to commit (the liveness check).
+    draining: bool,
     metrics: MetricsCollector,
     history: Option<HistoryRecorder>,
     warmup_done: bool,
@@ -107,8 +126,11 @@ impl Simulator {
                 disk_sched: None,
                 cpu_dirty: false,
                 disk_dirty: false,
+                up: true,
+                epoch: 0,
             })
             .collect();
+        let faults_enabled = config.faults.any();
         let snoop = (config.algorithm == Algorithm::TwoPhaseLocking).then(|| SnoopState {
             current: NodeId(1),
             round: 0,
@@ -129,6 +151,9 @@ impl Simulator {
             rng_work: SimRng::derive(seed, "workload"),
             rng_proc: SimRng::derive(seed, "page-processing"),
             rng_disk: SimRng::derive(seed, "disk"),
+            rng_fault: SimRng::derive(seed, "fault"),
+            faults_enabled,
+            draining: false,
             history: config.control.record_history.then(HistoryRecorder::new),
             metrics: MetricsCollector::new(),
             warmup_done: false,
@@ -155,7 +180,9 @@ impl Simulator {
     }
 
     /// Schedule the initial events: every terminal starts thinking, and the
-    /// Snoop role (2PL only) starts at node `S1`.
+    /// Snoop role (2PL only) starts at node `S1`. With fault injection on,
+    /// the whole crash/stall schedule is materialized up front from the
+    /// dedicated `"fault-plan"` stream and posted to the calendar.
     fn seed(&mut self) {
         for terminal in 0..self.config.workload.num_terminals {
             let delay = self.think_delay();
@@ -170,6 +197,29 @@ impl Simulator {
                     round: 0,
                 },
             );
+        }
+        if self.faults_enabled {
+            let plan = FaultPlan::generate(
+                &self.config.faults,
+                self.nodes.len() - 1,
+                self.config.control.max_sim_time,
+                self.config.control.seed,
+            );
+            for w in &plan.crashes {
+                self.calendar
+                    .schedule(w.at, Event::NodeDown { node: w.node });
+                self.calendar
+                    .schedule(w.up_at, Event::NodeUp { node: w.node });
+            }
+            for s in &plan.stalls {
+                self.calendar.schedule(
+                    s.at,
+                    Event::DiskStall {
+                        node: s.node,
+                        until: s.until,
+                    },
+                );
+            }
         }
     }
 
@@ -203,6 +253,26 @@ impl Simulator {
                 break;
             }
         }
+    }
+
+    /// Chaos-mode epilogue: keep the event loop running, with new admissions
+    /// shut off, until every live transaction commits. Returns true when the
+    /// system drained (the liveness property); false means the simulated-time
+    /// wall was hit with transactions still in flight.
+    fn drain(&mut self) -> bool {
+        self.draining = true;
+        while let Some((now, ev)) = self.calendar.pop() {
+            if now > SimTime::ZERO + self.config.control.max_sim_time {
+                self.truncated = true;
+                break;
+            }
+            self.on_event(now, ev);
+            self.flush_rescheds();
+            if self.txns.is_empty() {
+                break;
+            }
+        }
+        self.txns.is_empty()
     }
 
     fn report(&self, end: SimTime) -> RunReport {
@@ -245,6 +315,9 @@ impl Simulator {
             disk_utilization: disk,
             measured_seconds: elapsed,
             truncated: self.truncated,
+            aborts_by_cause: m.aborts_by_cause,
+            fault_stats: m.faults,
+            drained: self.draining && self.txns.is_empty(),
             buffer_hit_ratio: {
                 let (hits, misses) = self.nodes[1..].iter().fold((0u64, 0u64), |(h, m), n| {
                     (h + n.buffer.hits(), m + n.buffer.misses())
@@ -298,6 +371,11 @@ impl Simulator {
                 cohort,
                 access,
             } => self.on_lock_timeout(now, txn, run, cohort, access),
+            Event::NodeDown { node } => self.on_node_down(now, node),
+            Event::NodeUp { node } => self.on_node_up(now, node),
+            Event::DiskStall { node, until } => self.on_disk_stall(now, node, until),
+            Event::CohortTimeout { txn, run } => self.on_cohort_timeout(now, txn, run),
+            Event::MsgArrive { msg } => self.deliver_now(now, *msg),
         }
     }
 
@@ -327,7 +405,257 @@ impl Simulator {
             now,
             node,
             NodeId::HOST,
-            MsgKind::AbortRequest { txn: id, run },
+            MsgKind::AbortRequest {
+                txn: id,
+                run,
+                cause: AbortCause::LockTimeout,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// A planned crash begins. The node instantly loses everything volatile:
+    /// CPU queues, disk queues (including in-service transfers), CC manager
+    /// state, and the buffer pool. The coordinator (which in this model
+    /// observes crashes via its own timeout machinery, here collapsed into
+    /// one deterministic sweep at the crash instant) marks every in-flight
+    /// cohort at the node as lost, aborts runs that can still abort, and
+    /// synthesizes the acknowledgements that dead cohorts can never send.
+    fn on_node_down(&mut self, now: SimTime, node: NodeId) {
+        if !self.nodes[node.0].up {
+            return; // overlapping windows are filtered at plan time; be safe
+        }
+        let st = &mut self.nodes[node.0];
+        st.up = false;
+        st.epoch += 1;
+        st.cpu.clear(now);
+        st.disks.clear_all(now);
+        st.cc = make_manager_with(self.config.algorithm, self.config.system.lock_barging);
+        st.buffer = LruPool::new(self.config.system.buffer_pages as usize);
+        self.metrics.faults.crashes += 1;
+        self.resched_cpu(now, node);
+        self.resched_disks(now, node);
+        // Sweep the coordinator's table for cohorts that lived at this node.
+        // Two passes (collect, then act) because acting sends messages, which
+        // needs `&mut self`. Slab iteration order is deterministic.
+        let mut aborts: Vec<(TxnId, RunId)> = Vec::new();
+        let mut synths: Vec<TxnId> = Vec::new();
+        let mut mid_commit = 0u64;
+        for t in self.txns.values_mut() {
+            let Some(ci) = t.cohort_at(node) else {
+                continue;
+            };
+            if !t.cohorts[ci].loaded || t.phase == TxnPhase::WaitingRestart {
+                continue; // nothing of this run ever reached the node
+            }
+            t.cohorts[ci].lost = true;
+            match t.phase {
+                TxnPhase::Executing => aborts.push((t.id, t.run)),
+                TxnPhase::Preparing => {
+                    mid_commit += 1;
+                    aborts.push((t.id, t.run));
+                }
+                // Phase 2 (either direction) and the abort protocol run to
+                // completion on the surviving cohorts; the dead cohort's
+                // acknowledgement is synthesized (presumed commit/abort).
+                TxnPhase::Committing | TxnPhase::AbortingVote => {
+                    mid_commit += 1;
+                    if !t.cohorts[ci].acked {
+                        t.cohorts[ci].acked = true;
+                        synths.push(t.id);
+                    }
+                }
+                TxnPhase::Aborting => {
+                    if !t.cohorts[ci].acked {
+                        t.cohorts[ci].acked = true;
+                        synths.push(t.id);
+                    }
+                }
+                TxnPhase::WaitingRestart => unreachable!("filtered above"),
+            }
+        }
+        self.metrics.faults.mid_commit_crashes += mid_commit;
+        for (id, run) in aborts {
+            self.on_abort_request(now, id, run, AbortCause::NodeCrash);
+        }
+        for id in synths {
+            self.synth_ack(now, id);
+        }
+        self.restart_snoop(now);
+    }
+
+    /// A crashed node finishes recovery: its partitions are re-admitted (new
+    /// cohorts can load there again; messages parked by the retry loop start
+    /// landing).
+    fn on_node_up(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.0].up {
+            return;
+        }
+        self.nodes[node.0].up = true;
+        self.metrics.faults.recoveries += 1;
+        self.restart_snoop(now);
+    }
+
+    /// A planned disk-stall interval begins: every disk at the node defers
+    /// completions (including the transfers currently in service) to `until`.
+    fn on_disk_stall(&mut self, now: SimTime, node: NodeId, until: SimTime) {
+        if !self.nodes[node.0].up {
+            return; // the crash already destroyed the queued work
+        }
+        self.metrics.faults.disk_stalls += 1;
+        self.nodes[node.0].disks.stall_all(until);
+        self.resched_disks(now, node);
+    }
+
+    /// Account one synthesized acknowledgement (for a cohort that crashed
+    /// after the decision point) against the coordinator's outstanding count.
+    fn synth_ack(&mut self, now: SimTime, id: TxnId) {
+        let Some(txn) = self.txns.get_mut(id) else {
+            return;
+        };
+        debug_assert!(txn.acks_outstanding > 0, "synth_ack with nothing pending");
+        txn.acks_outstanding -= 1;
+        if txn.acks_outstanding > 0 {
+            return;
+        }
+        match txn.phase {
+            TxnPhase::Committing => self.complete_commit(now, id),
+            TxnPhase::AbortingVote | TxnPhase::Aborting => self.complete_abort(now, id),
+            _ => {}
+        }
+    }
+
+    /// The commit-protocol response timeout expired for this run. In the
+    /// vote phase the coordinator presumes abort (a cohort or its node is
+    /// gone); in the decision/abort phases the decision is retransmitted to
+    /// every cohort that has not acknowledged — the path that lets dropped
+    /// decisions and crashed-then-recovered nodes converge.
+    fn on_cohort_timeout(&mut self, now: SimTime, id: TxnId, run: RunId) {
+        let Some(txn) = self.txns.get(id) else {
+            return;
+        };
+        if txn.run != run {
+            return;
+        }
+        match txn.phase {
+            TxnPhase::Executing | TxnPhase::WaitingRestart => {}
+            TxnPhase::Preparing => {
+                self.on_abort_request(now, id, run, AbortCause::CohortTimeout);
+            }
+            TxnPhase::Committing | TxnPhase::AbortingVote => {
+                let commit = txn.phase == TxnPhase::Committing;
+                let template = Rc::clone(&txn.template);
+                let mut synths: Vec<CohortIdx> = Vec::new();
+                let mut resend: Vec<(CohortIdx, NodeId)> = Vec::new();
+                for (cohort, spec) in template.cohorts.iter().enumerate() {
+                    let c = &txn.cohorts[cohort];
+                    if c.acked {
+                        continue;
+                    }
+                    if c.lost {
+                        synths.push(cohort); // crash sweep acks these; be safe
+                    } else {
+                        resend.push((cohort, spec.node));
+                    }
+                }
+                for cohort in synths {
+                    if let Some(t) = self.txns.get_mut(id) {
+                        t.cohorts[cohort].acked = true;
+                    }
+                    self.synth_ack(now, id);
+                }
+                for (cohort, node) in resend {
+                    self.send(
+                        now,
+                        NodeId::HOST,
+                        node,
+                        MsgKind::Decision {
+                            txn: id,
+                            run,
+                            cohort,
+                            commit,
+                        },
+                    );
+                }
+                self.rearm_cohort_timeout(id, run);
+            }
+            TxnPhase::Aborting => {
+                let template = Rc::clone(&txn.template);
+                let mut resend: Vec<(CohortIdx, NodeId)> = Vec::new();
+                for (cohort, spec) in template.cohorts.iter().enumerate() {
+                    let c = &txn.cohorts[cohort];
+                    if c.loaded && !c.acked && !c.lost {
+                        resend.push((cohort, spec.node));
+                    }
+                }
+                for (cohort, node) in resend {
+                    self.send(
+                        now,
+                        NodeId::HOST,
+                        node,
+                        MsgKind::AbortCohort {
+                            txn: id,
+                            run,
+                            cohort,
+                        },
+                    );
+                }
+                self.rearm_cohort_timeout(id, run);
+            }
+        }
+    }
+
+    /// Keep the response timer running while acknowledgements are pending.
+    fn rearm_cohort_timeout(&mut self, id: TxnId, run: RunId) {
+        let pending = self.txns.get(id).is_some_and(|t| {
+            t.run == run
+                && t.acks_outstanding > 0
+                && matches!(
+                    t.phase,
+                    TxnPhase::Committing | TxnPhase::AbortingVote | TxnPhase::Aborting
+                )
+        });
+        if pending {
+            self.calendar.schedule_after(
+                self.config.faults.cohort_timeout,
+                Event::CohortTimeout { txn: id, run },
+            );
+        }
+    }
+
+    /// Crashes invalidate the deadlock detector's state: a gather in flight
+    /// may be waiting on a reply that will never come, and the Snoop role
+    /// itself may sit on a dead node. Restart the round from a live node.
+    fn restart_snoop(&mut self, now: SimTime) {
+        let Some(snoop) = &self.snoop else { return };
+        let cur = snoop.current;
+        let cur_down = !self.nodes[cur.0].up;
+        if !cur_down && snoop.awaiting == 0 {
+            return; // detector idle on a live node: nothing to repair
+        }
+        let next = if cur_down {
+            (1..self.nodes.len())
+                .map(NodeId)
+                .find(|n| self.nodes[n.0].up)
+        } else {
+            Some(cur)
+        };
+        let Some(next) = next else {
+            return; // every processing node is down; on_node_up retries
+        };
+        let snoop = self.snoop.as_mut().expect("checked above");
+        snoop.round += 1; // invalidates stale wake-ups and replies
+        snoop.current = next;
+        snoop.awaiting = 0;
+        snoop.edges.clear();
+        let round = snoop.round;
+        let _ = now;
+        self.calendar.schedule_after(
+            self.config.system.detection_interval,
+            Event::SnoopWake { node: next, round },
         );
     }
 
@@ -336,6 +664,9 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn submit_transaction(&mut self, now: SimTime, terminal: usize) {
+        if self.draining {
+            return; // chaos epilogue: no new admissions, just finish the rest
+        }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         let template: TxnTemplate =
@@ -508,7 +839,11 @@ impl Simulator {
                     now,
                     node,
                     NodeId::HOST,
-                    MsgKind::AbortRequest { txn: id, run },
+                    MsgKind::AbortRequest {
+                        txn: id,
+                        run,
+                        cause: AbortCause::Timestamp,
+                    },
                 );
             }
         }
@@ -644,7 +979,11 @@ impl Simulator {
                 now,
                 node,
                 NodeId::HOST,
-                MsgKind::AbortRequest { txn: id, run },
+                MsgKind::AbortRequest {
+                    txn: id,
+                    run,
+                    cause: AbortCause::Timestamp,
+                },
             );
         }
         for id in rel.must_abort {
@@ -656,7 +995,11 @@ impl Simulator {
                 now,
                 node,
                 NodeId::HOST,
-                MsgKind::AbortRequest { txn: id, run },
+                MsgKind::AbortRequest {
+                    txn: id,
+                    run,
+                    cause: AbortCause::Wound,
+                },
             );
         }
     }
@@ -677,6 +1020,13 @@ impl Simulator {
                 {
                     return;
                 }
+                // Stamp the node's crash epoch the moment the node learns of
+                // the cohort: protocol messages carrying an older stamp refer
+                // to state a crash has since destroyed.
+                let epoch = self.nodes[node.0].epoch;
+                if let Some(t) = self.txns.get_mut(txn) {
+                    t.cohorts[cohort].load_epoch = epoch;
+                }
                 let startup = self.config.system.inst_per_startup as f64;
                 self.cpu_shared(
                     now,
@@ -696,7 +1046,19 @@ impl Simulator {
                 if t.run != run {
                     return;
                 }
-                let yes = self.nodes[node.0].cc.certify(&t.meta(), commit_ts);
+                // A cohort whose state died in a crash cannot vote yes: the
+                // rebuilt CC manager has no read/write sets to certify.
+                let stale = t.cohorts[cohort].lost
+                    || t.cohorts[cohort].load_epoch != self.nodes[node.0].epoch;
+                let yes = if stale {
+                    if let Some(tm) = self.txns.get_mut(txn) {
+                        tm.abort_cause = Some(AbortCause::NodeCrash);
+                    }
+                    false
+                } else {
+                    let meta = self.txns.get(txn).expect("checked above").meta();
+                    self.nodes[node.0].cc.certify(&meta, commit_ts)
+                };
                 self.send(
                     now,
                     node,
@@ -716,25 +1078,43 @@ impl Simulator {
                 cohort,
                 commit,
             } => self.on_decision(now, node, txn, run, cohort, commit),
-            MsgKind::Ack { txn, run, .. } => self.on_ack(now, txn, run),
-            MsgKind::AbortRequest { txn, run } => self.on_abort_request(now, txn, run),
+            MsgKind::Ack { txn, run, cohort } => self.on_ack(now, txn, run, cohort),
+            MsgKind::AbortRequest { txn, run, cause } => {
+                self.on_abort_request(now, txn, run, cause)
+            }
             MsgKind::AbortCohort { txn, run, cohort } => {
                 // Dismantle the cohort: discard CC state, cancel its pending
                 // CPU work and queued disk reads. In-service disk requests
                 // complete harmlessly (their completions are stale-dropped).
-                let rel = self.nodes[node.0].cc.abort(txn);
-                self.apply_release(now, node, rel);
-                self.touch_cpu(now, node);
-                self.nodes[node.0].cpu.cancel_shared_where(|job| match job {
-                    CpuJob::CohortStartup { txn: t, run: r, .. }
-                    | CpuJob::CcRequest { txn: t, run: r, .. }
-                    | CpuJob::PageProcess { txn: t, run: r, .. } => *t == txn && *r == run,
-                    _ => false,
+                // Fault injection can retransmit this message, so a stale
+                // copy (newer run, already-settled cohort, or a cohort whose
+                // state a crash destroyed) must not dismantle fresh state —
+                // it is acknowledged without touching the CC manager.
+                let fresh = self.txns.get(txn).is_some_and(|t| {
+                    let c = &t.cohorts[cohort];
+                    t.run == run
+                        && !c.settled
+                        && !c.lost
+                        && c.load_epoch == self.nodes[node.0].epoch
                 });
-                self.resched_cpu(now, node);
-                self.nodes[node.0].disks.cancel_queued_where(|job| {
-                    matches!(job, DiskJob::Read { txn: t, run: r, .. } if *t == txn && *r == run)
-                });
+                if fresh {
+                    if let Some(t) = self.txns.get_mut(txn) {
+                        t.cohorts[cohort].settled = true;
+                    }
+                    let rel = self.nodes[node.0].cc.abort(txn);
+                    self.apply_release(now, node, rel);
+                    self.touch_cpu(now, node);
+                    self.nodes[node.0].cpu.cancel_shared_where(|job| match job {
+                        CpuJob::CohortStartup { txn: t, run: r, .. }
+                        | CpuJob::CcRequest { txn: t, run: r, .. }
+                        | CpuJob::PageProcess { txn: t, run: r, .. } => *t == txn && *r == run,
+                        _ => false,
+                    });
+                    self.resched_cpu(now, node);
+                    self.nodes[node.0].disks.cancel_queued_where(|job| {
+                        matches!(job, DiskJob::Read { txn: t, run: r, .. } if *t == txn && *r == run)
+                    });
+                }
                 self.send(
                     now,
                     node,
@@ -742,7 +1122,7 @@ impl Simulator {
                     MsgKind::AbortAck { txn, run, cohort },
                 );
             }
-            MsgKind::AbortAck { txn, run, .. } => self.on_abort_ack(now, txn, run),
+            MsgKind::AbortAck { txn, run, cohort } => self.on_abort_ack(now, txn, run, cohort),
             MsgKind::SnoopRequest { round } => {
                 let edges = self.nodes[node.0].cc.waits_for_edges();
                 self.send(now, node, msg.from, MsgKind::SnoopReply { round, edges });
@@ -801,6 +1181,15 @@ impl Simulator {
                 },
             );
         }
+        // One response timer covers the whole commit protocol: it presumes
+        // abort if votes stall and re-arms itself through phase 2 until the
+        // final acknowledgement arrives.
+        if self.faults_enabled {
+            self.calendar.schedule_after(
+                self.config.faults.cohort_timeout,
+                Event::CohortTimeout { txn: id, run },
+            );
+        }
     }
 
     fn on_vote(&mut self, now: SimTime, id: TxnId, run: RunId, yes: bool) {
@@ -812,6 +1201,11 @@ impl Simulator {
         }
         txn.votes_received += 1;
         txn.all_yes &= yes;
+        if !yes {
+            // Keep a more specific cause (a crash detected at Prepare time)
+            // if one was already recorded; otherwise this is certification.
+            txn.abort_cause.get_or_insert(AbortCause::Validation);
+        }
         if txn.votes_received < txn.template.cohorts.len() {
             return;
         }
@@ -853,6 +1247,30 @@ impl Simulator {
         if txn.run != run {
             return;
         }
+        // Fault injection: a retransmitted decision, or one that outlived the
+        // cohort's state (crash between load and decision), must not install
+        // pages or touch the rebuilt CC manager — acknowledge and stop. The
+        // `settled` flag makes decision processing exactly-once per run.
+        {
+            let c = &txn.cohorts[cohort];
+            if c.settled || c.lost || c.load_epoch != self.nodes[node.0].epoch {
+                self.send(
+                    now,
+                    node,
+                    NodeId::HOST,
+                    MsgKind::Ack {
+                        txn: id,
+                        run,
+                        cohort,
+                    },
+                );
+                return;
+            }
+        }
+        if let Some(t) = self.txns.get_mut(id) {
+            t.cohorts[cohort].settled = true;
+        }
+        let txn = self.txns.get(id).expect("checked above");
         if commit {
             // Only the commit path needs the write set; read-only cohorts
             // and aborts build nothing (`collect` on an empty filter does
@@ -904,17 +1322,21 @@ impl Simulator {
         );
     }
 
-    fn on_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
+    fn on_ack(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
         let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
         if txn.run != run {
             return;
         }
-        debug_assert!(matches!(
-            txn.phase,
-            TxnPhase::Committing | TxnPhase::AbortingVote
-        ));
+        // Retransmission makes duplicate acks possible, and a crash sweep may
+        // have synthesized this cohort's ack already: count each cohort once.
+        if !matches!(txn.phase, TxnPhase::Committing | TxnPhase::AbortingVote)
+            || txn.cohorts[cohort].acked
+        {
+            return;
+        }
+        txn.cohorts[cohort].acked = true;
         txn.acks_outstanding -= 1;
         if txn.acks_outstanding > 0 {
             return;
@@ -953,29 +1375,43 @@ impl Simulator {
         txn.phase = TxnPhase::WaitingRestart;
         let fallback = now.since(txn.origin);
         let run = txn.run;
+        let cause = txn.abort_cause.take().unwrap_or(AbortCause::Validation);
         if let Some(h) = &mut self.history {
             h.abort(id, run);
         }
-        self.metrics.record_abort();
+        self.metrics.record_abort(cause);
         let delay = self.metrics.restart_delay(fallback);
         self.calendar
             .schedule_after(delay, Event::Restart { txn: id });
     }
 
-    fn on_abort_request(&mut self, now: SimTime, id: TxnId, run: RunId) {
+    fn on_abort_request(&mut self, now: SimTime, id: TxnId, run: RunId, cause: AbortCause) {
         let Some(txn) = self.txns.get_mut(id) else {
             return; // already committed
         };
         if txn.run != run || txn.abort_in_progress() || txn.wound_immune() {
             return;
         }
-        // Kill this run: dismantle every cohort loaded so far.
+        // Kill this run: dismantle every cohort loaded so far. Cohorts lost
+        // to a crash have nothing left to dismantle — their acknowledgement
+        // is implicit, so only the surviving cohorts are counted and told.
         txn.phase = TxnPhase::Aborting;
-        let loaded = txn.loaded_count();
-        txn.acks_outstanding = loaded;
-        if loaded == 0 {
-            // No cohort ever started (abort raced cohort loading): the run
-            // dies instantly.
+        txn.abort_cause = Some(cause);
+        let mut live = 0usize;
+        for c in &mut txn.cohorts {
+            if !c.loaded {
+                continue;
+            }
+            if c.lost {
+                c.acked = true;
+            } else {
+                live += 1;
+            }
+        }
+        txn.acks_outstanding = live;
+        if live == 0 {
+            // No surviving cohort ever started (abort raced cohort loading,
+            // or the crash took every loaded cohort): the run dies instantly.
             self.complete_abort(now, id);
             return;
         }
@@ -984,8 +1420,11 @@ impl Simulator {
         // so re-reading them per cohort is equivalent to snapshotting.
         let template = Rc::clone(&txn.template);
         for (cohort, spec) in template.cohorts.iter().enumerate() {
-            let is_loaded = self.txns.get(id).is_some_and(|t| t.cohorts[cohort].loaded);
-            if !is_loaded {
+            let is_live = self
+                .txns
+                .get(id)
+                .is_some_and(|t| t.cohorts[cohort].loaded && !t.cohorts[cohort].lost);
+            if !is_live {
                 continue;
             }
             self.send(
@@ -999,15 +1438,22 @@ impl Simulator {
                 },
             );
         }
+        if self.faults_enabled {
+            self.calendar.schedule_after(
+                self.config.faults.cohort_timeout,
+                Event::CohortTimeout { txn: id, run },
+            );
+        }
     }
 
-    fn on_abort_ack(&mut self, now: SimTime, id: TxnId, run: RunId) {
+    fn on_abort_ack(&mut self, now: SimTime, id: TxnId, run: RunId, cohort: CohortIdx) {
         let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
-        if txn.run != run || txn.phase != TxnPhase::Aborting {
+        if txn.run != run || txn.phase != TxnPhase::Aborting || txn.cohorts[cohort].acked {
             return;
         }
+        txn.cohorts[cohort].acked = true;
         txn.acks_outstanding -= 1;
         if txn.acks_outstanding == 0 {
             self.complete_abort(now, id);
@@ -1025,19 +1471,23 @@ impl Simulator {
         if snoop.round != round || snoop.current != node {
             return; // stale wake-up
         }
+        if !self.nodes[node.0].up {
+            return; // the crash handler already moved the role elsewhere
+        }
         snoop.edges = self.nodes[node.0].cc.waits_for_edges();
-        // Every processing node except the Snoop itself.
-        let others = self.nodes.len() - 2;
-        if others == 0 {
+        // Every *live* processing node except the Snoop itself; crashed nodes
+        // have no lock tables to report (and could not answer anyway).
+        let others: Vec<NodeId> = (1..self.nodes.len())
+            .map(NodeId)
+            .filter(|n| *n != node && self.nodes[n.0].up)
+            .collect();
+        if others.is_empty() {
             self.finish_detection(now, node);
             return;
         }
-        self.snoop.as_mut().expect("snoop exists").awaiting = others;
-        for i in 1..self.nodes.len() {
-            let other = NodeId(i);
-            if other != node {
-                self.send(now, node, other, MsgKind::SnoopRequest { round });
-            }
+        self.snoop.as_mut().expect("snoop exists").awaiting = others.len();
+        for other in others {
+            self.send(now, node, other, MsgKind::SnoopRequest { round });
         }
     }
 
@@ -1084,13 +1534,22 @@ impl Simulator {
                 now,
                 node,
                 NodeId::HOST,
-                MsgKind::AbortRequest { txn: victim, run },
+                MsgKind::AbortRequest {
+                    txn: victim,
+                    run,
+                    cause: AbortCause::Deadlock,
+                },
             );
         }
-        // Pass the role round-robin over the processing nodes.
+        // Pass the role round-robin over the processing nodes, skipping ones
+        // that are currently crashed (the cycle lands back on this node — a
+        // live one, or finish_detection could not be running — at worst).
+        let mut next = NodeId(node.0 % (self.nodes.len() - 1) + 1);
+        while !self.nodes[next.0].up {
+            next = NodeId(next.0 % (self.nodes.len() - 1) + 1);
+        }
         let snoop = self.snoop.as_mut().expect("2PL only");
         snoop.round += 1;
-        let next = NodeId(node.0 % (self.nodes.len() - 1) + 1);
         snoop.current = next;
         if next == node {
             // Single processing node: keep the role, schedule the next wake.
@@ -1243,9 +1702,45 @@ impl Simulator {
     }
 
     /// The network manager: zero wire time — hand the message to the
-    /// receive-side CPU immediately.
+    /// receive-side CPU immediately. With fault injection on, the link may
+    /// first drop the message (it reappears after the retransmission delay —
+    /// the model of a reliable transport over a lossy wire) or delay it.
+    /// Each message is drawn against at most once; redeliveries skip the
+    /// fault draws and go straight to [`deliver_now`](Self::deliver_now).
     fn deliver(&mut self, now: SimTime, msg: Message) {
+        if self.faults_enabled {
+            let f = &self.config.faults;
+            if f.msg_drop_prob > 0.0 && self.rng_fault.bernoulli(f.msg_drop_prob) {
+                self.metrics.faults.msgs_dropped += 1;
+                self.calendar
+                    .schedule_after(f.msg_retry, Event::MsgArrive { msg: Box::new(msg) });
+                return;
+            }
+            if f.msg_delay_prob > 0.0 && self.rng_fault.bernoulli(f.msg_delay_prob) {
+                self.metrics.faults.msgs_delayed += 1;
+                let extra = SimDuration(self.rng_fault.uniform_u64(1, f.msg_delay_max.0.max(1)));
+                self.calendar
+                    .schedule_after(extra, Event::MsgArrive { msg: Box::new(msg) });
+                return;
+            }
+        }
+        self.deliver_now(now, msg);
+    }
+
+    /// Deliver unconditionally — unless the receiver is crashed, in which
+    /// case the message parks in the retry loop until the node comes back
+    /// (senders in this model retransmit indefinitely; the coordinator's
+    /// own timeouts decide when to give up on a cohort).
+    fn deliver_now(&mut self, now: SimTime, msg: Message) {
         let to = msg.to;
+        if !self.nodes[to.0].up {
+            self.metrics.faults.msgs_to_down_node += 1;
+            self.calendar.schedule_after(
+                self.config.faults.msg_retry,
+                Event::MsgArrive { msg: Box::new(msg) },
+            );
+            return;
+        }
         let instr = self.config.system.inst_per_msg as f64;
         self.touch_cpu(now, to);
         if let Some(CpuJob::MsgRecv(m)) =
@@ -1384,6 +1879,22 @@ pub fn run_with_history(mut config: Config) -> Result<(RunReport, HistoryRecorde
     let mut sim = Simulator::new(config)?;
     sim.seed();
     sim.drive(false);
+    let report = sim.report(sim.calendar.now());
+    let history = sim.history.take().expect("recording was enabled");
+    Ok((report, history))
+}
+
+/// Chaos-suite entry point: run with history recording on, then keep the
+/// event loop going (with admissions shut off) until every in-flight
+/// transaction commits. `report.drained` records whether the system actually
+/// emptied — the liveness property the chaos tests assert — and the history
+/// covers everything that committed, including during the drain.
+pub fn run_chaos(mut config: Config) -> Result<(RunReport, HistoryRecorder), ConfigError> {
+    config.control.record_history = true;
+    let mut sim = Simulator::new(config)?;
+    sim.seed();
+    sim.drive(false);
+    sim.drain();
     let report = sim.report(sim.calendar.now());
     let history = sim.history.take().expect("recording was enabled");
     Ok((report, history))

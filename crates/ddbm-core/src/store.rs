@@ -104,6 +104,13 @@ impl TxnStore {
     pub fn values(&self) -> impl Iterator<Item = &TxnRuntime> {
         self.slots.iter().filter_map(|s| s.as_ref())
     }
+
+    /// Mutable iteration over the live transactions (slab order). Slab
+    /// order depends on slot reuse, which is itself deterministic, so
+    /// sweeps over this iterator stay reproducible.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut TxnRuntime> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut())
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Per-transaction runtime state kept by the (host-resident) coordinator.
 
-use crate::protocol::RunId;
+use crate::protocol::{AbortCause, RunId};
 use crate::workload::TxnTemplate;
 use ddbm_cc::{Ts, TxnMeta};
 use ddbm_config::{NodeId, TxnId};
@@ -40,6 +40,19 @@ pub struct CohortRun {
     /// If blocked on a CC request, when the block began (for the blocking
     /// time metric).
     pub blocked_since: Option<SimTime>,
+    /// Fault injection: the node's crash epoch when the cohort was loaded.
+    /// A node that crashes bumps its epoch, so a mismatch means every trace
+    /// of this cohort (locks, read/write sets, queued work) is gone.
+    pub load_epoch: u64,
+    /// Fault injection: the cohort's node crashed while the cohort was in
+    /// flight this run; its state no longer exists anywhere.
+    pub lost: bool,
+    /// The cohort's node has applied this run's commit/abort decision
+    /// (dedups retransmitted `Decision`/`AbortCohort` messages).
+    pub settled: bool,
+    /// Phase-2 / abort-protocol acknowledgement received (or synthesized
+    /// for a lost cohort); dedups retransmitted acks.
+    pub acked: bool,
 }
 
 /// All runtime state of one transaction.
@@ -73,6 +86,9 @@ pub struct TxnRuntime {
     pub acks_outstanding: usize,
     /// The commit timestamp, assigned when phase 1 starts.
     pub commit_ts: Option<Ts>,
+    /// Why the current run is aborting; set when the abort takes effect and
+    /// consumed by the metrics collector when the abort completes.
+    pub abort_cause: Option<AbortCause>,
 }
 
 impl TxnRuntime {
@@ -92,6 +108,7 @@ impl TxnRuntime {
             all_yes: true,
             acks_outstanding: 0,
             commit_ts: None,
+            abort_cause: None,
         }
     }
 
@@ -116,6 +133,7 @@ impl TxnRuntime {
         self.all_yes = true;
         self.acks_outstanding = 0;
         self.commit_ts = None;
+        self.abort_cause = None;
     }
 
     /// The cohort index running at `node`, if any.

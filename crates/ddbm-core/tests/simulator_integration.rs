@@ -226,6 +226,60 @@ fn message_cost_loads_the_host_cpu() {
     );
 }
 
+#[test]
+fn abort_causes_are_surfaced_and_split_by_algorithm() {
+    // Under fault-free heavy contention each algorithm aborts for exactly
+    // one reason, and the per-cause breakdown must show it: deadlock-victim
+    // picks for 2PL, wounds for WW, timestamp rejections for WD and BTO,
+    // validation failures for OPT, lock timeouts for 2PL-T.
+    let contended = |algo| {
+        let mut c = tiny(algo, 8, 0.0);
+        c.database.pages_per_file = 40;
+        c
+    };
+    let cases = [
+        (Algorithm::TwoPhaseLocking, "deadlock"),
+        (Algorithm::WoundWait, "wound"),
+        (Algorithm::WaitDie, "timestamp"),
+        (Algorithm::BasicTimestampOrdering, "timestamp"),
+        (Algorithm::Optimistic, "validation"),
+        (Algorithm::TwoPhaseLockingTimeout, "lock_timeout"),
+    ];
+    for (algo, expected) in cases {
+        let mut c = contended(algo);
+        if algo == Algorithm::TwoPhaseLockingTimeout {
+            c.system.lock_timeout = denet::SimDuration::from_secs_f64(2.0);
+        }
+        let r = run(c);
+        assert!(r.aborts > 0, "{algo}: contention must cause aborts");
+        let b = &r.aborts_by_cause;
+        assert_eq!(
+            b.total(),
+            r.aborts,
+            "{algo}: causes must partition the abort count, got {b:?}"
+        );
+        assert_eq!(
+            b.fault_induced(),
+            0,
+            "{algo}: fault-free run must have no fault-induced aborts: {b:?}"
+        );
+        let by_name = [
+            ("deadlock", b.deadlock),
+            ("wound", b.wound),
+            ("timestamp", b.timestamp),
+            ("validation", b.validation),
+            ("lock_timeout", b.lock_timeout),
+        ];
+        for (name, count) in by_name {
+            if name == expected {
+                assert_eq!(count, r.aborts, "{algo}: all aborts must be {name}: {b:?}");
+            } else {
+                assert_eq!(count, 0, "{algo}: unexpected {name} aborts: {b:?}");
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------------------------
 // Extension features: wait-die, timeout-based 2PL, buffer pool.
 // ----------------------------------------------------------------------

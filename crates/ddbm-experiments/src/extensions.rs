@@ -200,6 +200,12 @@ pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
     let (e21_rt, e21_ab) = e21_timeout_sensitivity(runner, profile, 1.0);
     let (e23_tp, e23_ab) = e23_wait_die(runner, profile);
     let (e24_tp, e24_ab) = e24_barging(runner, profile);
+    let (e25_tp, e25_ab) = e25_fault_study(
+        runner,
+        profile,
+        &E25_CRASH_RATES,
+        SimDuration::from_millis(E25_RECOVERY_MS),
+    );
     vec![
         e20_exec_pattern(runner, profile),
         e21_rt,
@@ -209,7 +215,94 @@ pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
         e23_ab,
         e24_tp,
         e24_ab,
+        e25_tp,
+        e25_ab,
     ]
+}
+
+/// The per-node crash rates (crashes per simulated second) swept by E25.
+/// The top rate crashes *some* node of the 8-node machine every ~2.5
+/// simulated seconds, so with 8-way declustering nearly every transaction
+/// races a failure.
+pub const E25_CRASH_RATES: [f64; 4] = [0.0, 0.005, 0.02, 0.05];
+
+/// The default crash-recovery delay used by E25, in milliseconds.
+pub const E25_RECOVERY_MS: u64 = 2_000;
+
+/// E25: the fault study the paper never ran — how does each concurrency
+/// control algorithm degrade when the machine's nodes actually crash?
+/// Deterministic fault injection (seeded crash/restart schedules plus mild
+/// message drop/delay noise) at a contended operating point; throughput and
+/// fault-induced aborts per commit as the crash rate rises. A crash aborts
+/// every transaction with in-flight state on the dead node (detected by the
+/// coordinator's presumed-abort timeout), so with 8-way declustering the
+/// blocking algorithms pay for every lock queue a crash wipes out, while
+/// OPT's late validation makes each kill cheaper but more frequent.
+pub fn e25_fault_study(
+    runner: &Runner,
+    profile: &Profile,
+    crash_rates: &[f64],
+    recovery: SimDuration,
+) -> (FigureResult, FigureResult) {
+    let algos = [
+        Algorithm::TwoPhaseLocking,
+        Algorithm::BasicTimestampOrdering,
+        Algorithm::WoundWait,
+        Algorithm::Optimistic,
+    ];
+    let think = 1.0;
+    let mut tput = Vec::new();
+    let mut aborts = Vec::new();
+    for algo in algos {
+        let mut configs = Vec::new();
+        for &rate in crash_rates {
+            let mut c = Config::paper(algo, 8, 8, think);
+            c.faults.crash_rate = rate;
+            c.faults.recovery = recovery;
+            c.faults.msg_drop_prob = 0.005;
+            c.faults.msg_delay_prob = 0.01;
+            c.faults.msg_delay_max = SimDuration::from_millis(20);
+            c.faults.msg_retry = SimDuration::from_millis(50);
+            c.faults.cohort_timeout = SimDuration::from_secs_f64(3.0);
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        tput.push(Series {
+            name: algo.label().to_string(),
+            ys: reports.iter().map(|r| r.throughput).collect(),
+        });
+        aborts.push(Series {
+            name: algo.label().to_string(),
+            ys: reports
+                .iter()
+                .map(|r| r.aborts_by_cause.fault_induced() as f64 / r.commits.max(1) as f64)
+                .collect(),
+        });
+    }
+    let recovery_s = recovery.as_secs_f64();
+    (
+        FigureResult {
+            id: "e25-tput".into(),
+            title: format!(
+                "Fault study: throughput vs per-node crash rate (recovery {recovery_s}s, think {think}s)"
+            ),
+            x_label: "crash rate (per node per s)".into(),
+            y_label: "throughput (txn/s)".into(),
+            xs: crash_rates.to_vec(),
+            series: tput,
+        },
+        FigureResult {
+            id: "e25-aborts".into(),
+            title: format!(
+                "Fault study: fault-induced aborts vs crash rate (recovery {recovery_s}s, think {think}s)"
+            ),
+            x_label: "crash rate (per node per s)".into(),
+            y_label: "fault-induced aborts per commit".into(),
+            xs: crash_rates.to_vec(),
+            series: aborts,
+        },
+    )
 }
 
 /// E24: strict-FIFO vs barging lock grants for 2PL — the one lock-manager

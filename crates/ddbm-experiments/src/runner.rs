@@ -27,7 +27,7 @@ type Key = u128;
 /// One cache slot: either a finished report or an in-flight marker whose
 /// condvar followers wait on.
 enum Slot {
-    Done(RunReport),
+    Done(Box<RunReport>),
     InFlight(Arc<Flight>),
 }
 
@@ -75,7 +75,7 @@ impl Runner {
         let flight = {
             let mut cache = self.cache.lock().unwrap();
             match cache.get(&key) {
-                Some(Slot::Done(hit)) => return hit.clone(),
+                Some(Slot::Done(hit)) => return (**hit).clone(),
                 Some(Slot::InFlight(flight)) => {
                     // Another thread is already running this config: wait for
                     // its result instead of duplicating the simulation.
@@ -115,7 +115,7 @@ impl Runner {
             .lock()
             .unwrap()
             .get_mut(&key)
-            .expect("slot exists") = Slot::Done(report.clone());
+            .expect("slot exists") = Slot::Done(Box::new(report.clone()));
         *flight.result.lock().unwrap() = Some(report.clone());
         flight.ready.notify_all();
         report

@@ -78,7 +78,7 @@ fn by_id_covers_every_figure() {
     // Only check the mapping exists and rejects junk — reuse cached runs for
     // one real id.
     assert!(figures::by_id(&runner, &profile, "nonsense").is_none());
-    assert_eq!(figures::FIGURE_IDS.len(), 24);
+    assert_eq!(figures::FIGURE_IDS.len(), 25);
     let f = figures::by_id(&runner, &profile, "fig12").unwrap();
     assert_eq!(f[0].id, "fig12");
 }
@@ -88,7 +88,7 @@ fn extension_experiments_build() {
     let runner = Runner::new(0);
     let profile = Profile::test();
     let figs = ddbm_experiments::extensions::all_extensions(&runner, &profile);
-    assert_eq!(figs.len(), 8);
+    assert_eq!(figs.len(), 10);
     for fig in &figs {
         assert!(!fig.series.is_empty(), "{} empty", fig.id);
         for s in &fig.series {
@@ -96,6 +96,19 @@ fn extension_experiments_build() {
             assert!(s.ys.iter().all(|y| y.is_finite()), "{}/{}", fig.id, s.name);
         }
     }
+    // e25: no fault-induced aborts without crashes; some at the top rate.
+    let e25 = figs.iter().find(|f| f.id == "e25-aborts").unwrap();
+    assert_eq!(e25.xs[0], 0.0);
+    for s in &e25.series {
+        assert_eq!(s.ys[0], 0.0, "crash-free {} run aborted on faults", s.name);
+    }
+    let last = e25.xs.len() - 1;
+    let total_at_top: f64 = e25.series.iter().map(|s| s.ys[last]).sum();
+    assert!(
+        total_at_top > 0.0,
+        "the top crash rate must induce fault aborts somewhere"
+    );
+
     // e20: sequential must not be faster than parallel at the light point.
     let e20 = &figs[0];
     let par = e20.series("NO_DC parallel").unwrap();

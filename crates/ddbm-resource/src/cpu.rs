@@ -387,6 +387,26 @@ impl<T> Cpu<T> {
         removed
     }
 
+    /// Crash support: destroy every queued and in-flight job, message class
+    /// included, and return how many were dropped. Unlike
+    /// [`cancel_shared_where`](Self::cancel_shared_where), this models the
+    /// processor itself dying mid-instruction — protocol processing does NOT
+    /// run to completion. The accounting clock jumps to `now` and the CPU is
+    /// idle afterwards.
+    pub fn clear(&mut self, now: SimTime) -> usize {
+        debug_assert!(now >= self.last, "CPU cleared in the past");
+        let dropped = self.messages.len() + self.live;
+        self.messages.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.heap.clear();
+        self.live = 0;
+        self.v = 0.0;
+        self.last = now;
+        self.busy.set_busy(now, false);
+        dropped
+    }
+
     /// The instant the next job will complete if no further state changes
     /// occur, or `None` when idle. Call immediately after `advance`.
     ///
@@ -640,6 +660,22 @@ mod tests {
             "slab grew to {} for 1 concurrent job",
             cpu.slots.len()
         );
+    }
+
+    #[test]
+    fn clear_drops_messages_and_shared_work() {
+        let mut cpu = Cpu::new(1e6);
+        assert!(cpu.submit_shared(SimTime::ZERO, 1, 5_000.0).is_none());
+        assert!(cpu.submit_message(SimTime::ZERO, 2, 1_000.0).is_none());
+        assert!(cpu.submit_message(SimTime::ZERO, 3, 1_000.0).is_none());
+        cpu.advance(SimTime(500_000));
+        assert_eq!(cpu.clear(SimTime(500_000)), 3);
+        assert!(cpu.is_idle());
+        assert_eq!(cpu.next_completion(), None);
+        // The CPU is usable again after the crash.
+        assert!(cpu.submit_shared(SimTime(600_000), 4, 1_000.0).is_none());
+        assert_eq!(cpu.next_completion(), Some(SimTime(1_600_000)));
+        assert_eq!(cpu.advance(SimTime(1_600_000)), vec![4]);
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct Disk<T> {
     reads: VecDeque<Pending<T>>,
     writes: VecDeque<Pending<T>>,
     current: Option<InService<T>>,
+    /// Fault injection: no request may complete (or start service) before
+    /// this instant. `SimTime::ZERO` — the fault-free value — is vacuous.
+    stalled_until: SimTime,
     busy: BusyTracker,
 }
 
@@ -46,6 +49,7 @@ impl<T> Disk<T> {
             reads: VecDeque::new(),
             writes: VecDeque::new(),
             current: None,
+            stalled_until: SimTime::ZERO,
             busy: BusyTracker::new(SimTime::ZERO),
         }
     }
@@ -68,14 +72,44 @@ impl<T> Disk<T> {
         // Writes first (priority), then reads; FIFO within each class.
         let next = self.writes.pop_front().or_else(|| self.reads.pop_front());
         if let Some(p) = next {
+            // A stalled disk holds the request and serves it once the stall
+            // lifts (service restarts from scratch then).
+            let start = self.stalled_until.max(now);
             self.current = Some(InService {
                 tag: p.tag,
-                done_at: now + p.service,
+                done_at: start + p.service,
             });
             self.busy.set_busy(now, true);
         } else {
             self.busy.set_busy(now, false);
         }
+    }
+
+    /// Fault injection: withhold all completions until `until`. The
+    /// in-service request (if any) is pushed past the stall; queued requests
+    /// start no earlier than `until`.
+    pub fn stall(&mut self, until: SimTime) {
+        if until > self.stalled_until {
+            self.stalled_until = until;
+        }
+        if let Some(cur) = &mut self.current {
+            if cur.done_at < until {
+                cur.done_at = until;
+            }
+        }
+    }
+
+    /// Crash support: drop the in-service request and both queues (the node
+    /// died; nothing outlives it) and clear any stall. Returns how many
+    /// requests were destroyed.
+    pub fn clear(&mut self, now: SimTime) -> usize {
+        let dropped = self.queue_len() + usize::from(self.current.is_some());
+        self.reads.clear();
+        self.writes.clear();
+        self.current = None;
+        self.stalled_until = SimTime::ZERO;
+        self.busy.set_busy(now, false);
+        dropped
     }
 
     /// Complete any request due by `now` and start the next. Returns the tags
@@ -213,6 +247,19 @@ impl<T> DiskArray<T> {
         removed
     }
 
+    /// Fault injection: stall every disk until `until`.
+    pub fn stall_all(&mut self, until: SimTime) {
+        for d in &mut self.disks {
+            d.stall(until);
+        }
+    }
+
+    /// Crash support: destroy all queued and in-service requests on every
+    /// disk. Returns how many were destroyed.
+    pub fn clear_all(&mut self, now: SimTime) -> usize {
+        self.disks.iter_mut().map(|d| d.clear(now)).sum()
+    }
+
     /// Mean utilization across the node's disks.
     pub fn mean_utilization(&self, now: SimTime) -> f64 {
         self.disks.iter().map(|d| d.utilization(now)).sum::<f64>() / self.disks.len() as f64
@@ -289,6 +336,36 @@ mod tests {
         assert_eq!(removed, vec![2, 3]);
         assert_eq!(d.advance(SimTime(10 * MS)), vec![1]);
         assert_eq!(d.next_completion(), None);
+    }
+
+    #[test]
+    fn stall_defers_in_service_and_queued_work() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10));
+        d.submit(SimTime::ZERO, 2, false, SimDuration::from_millis(10));
+        d.stall(SimTime(50 * MS));
+        // The in-service request is pushed to the end of the stall; the
+        // queued one starts there and takes its full service time.
+        assert_eq!(d.next_completion(), Some(SimTime(50 * MS)));
+        assert_eq!(d.advance(SimTime(50 * MS)), vec![1]);
+        assert_eq!(d.next_completion(), Some(SimTime(60 * MS)));
+        assert_eq!(d.advance(SimTime(60 * MS)), vec![2]);
+        // Stalls never move completions earlier, and expired ones are inert.
+        d.submit(SimTime(70 * MS), 3, false, SimDuration::from_millis(10));
+        assert_eq!(d.next_completion(), Some(SimTime(80 * MS)));
+    }
+
+    #[test]
+    fn clear_destroys_everything_including_in_service() {
+        let mut d: Disk<u32> = Disk::new();
+        d.submit(SimTime::ZERO, 1, false, SimDuration::from_millis(10));
+        d.submit(SimTime::ZERO, 2, true, SimDuration::from_millis(10));
+        d.stall(SimTime(100 * MS));
+        assert_eq!(d.clear(SimTime(5 * MS)), 2);
+        assert_eq!(d.next_completion(), None);
+        // Usable again post-crash, stall gone.
+        d.submit(SimTime(10 * MS), 3, false, SimDuration::from_millis(10));
+        assert_eq!(d.next_completion(), Some(SimTime(20 * MS)));
     }
 
     #[test]
