@@ -254,12 +254,37 @@ fn whole_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the same 2PL whole-simulation run with phase
+/// statistics and event tracing enabled. Compare against
+/// `simulation_240_commits/2PL` — the gap is the tracing cost, and the
+/// untraced group must stay on its committed baseline (the disabled path is
+/// branch-only).
+fn whole_sim_traced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_240_commits_traced");
+    group.sample_size(10);
+    for (name, phase_stats, events) in [("2PL-phases", true, false), ("2PL-full", true, true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let mut config = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, 4.0);
+            config.control.warmup_commits = 40;
+            config.control.measure_commits = 200;
+            config.trace.phase_stats = phase_stats;
+            config.trace.events = events;
+            b.iter(|| {
+                let r = run_config(black_box(config.clone())).expect("valid");
+                black_box(r.commits)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     calendar,
     lock_table,
     cpu_model,
     cc_managers,
-    whole_sim
+    whole_sim,
+    whole_sim_traced
 );
 criterion_main!(benches);

@@ -11,7 +11,11 @@
 //!   --crash-rate R   e25 only: add R to the swept per-node crash rates
 //!                    (repeatable; replaces the default grid)
 //!   --recovery-ms N  e25 only: crash-recovery delay in milliseconds
-//!   FIGURE      any of fig02..fig17, e17..e25 (default: all)
+//!   --trace PATH     e26 only: run the representative collapse point (OPT at
+//!                    the top crash rate) with full event tracing and write
+//!                    Chrome-trace JSON to PATH plus a JSONL event stream to
+//!                    PATH.jsonl
+//!   FIGURE      any of fig02..fig17, e17..e26 (default: all)
 //! ```
 
 use ddbm_experiments::{chart, extensions, figures, FigureResult, Profile, Runner};
@@ -28,6 +32,7 @@ struct Args {
     ids: Vec<String>,
     crash_rates: Vec<f64>,
     recovery_ms: Option<u64>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
     let mut ids = Vec::new();
     let mut crash_rates = Vec::new();
     let mut recovery_ms = None;
+    let mut trace = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -77,11 +83,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--recovery-ms needs a value")?;
                 recovery_ms = Some(v.parse().map_err(|_| format!("bad recovery delay {v}"))?);
             }
+            "--trace" => {
+                let v = argv.next().ok_or("--trace needs a file path")?;
+                trace = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full|--quick|--smoke] [--threads N] \
                      [--out DIR] [--charts] [--verbose] \
-                     [--crash-rate R ...] [--recovery-ms N] [FIGURE ...]\nfigures: {}",
+                     [--crash-rate R ...] [--recovery-ms N] [--trace PATH] \
+                     [FIGURE ...]\nfigures: {}",
                     figures::FIGURE_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -98,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
             "--crash-rate/--recovery-ms only apply to e25; add it to the figure list".into(),
         );
     }
+    if trace.is_some() && !ids.iter().any(|id| id == "e26") {
+        return Err("--trace only applies to e26; add it to the figure list".into());
+    }
     Ok(Args {
         profile,
         profile_name,
@@ -108,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         ids,
         crash_rates,
         recovery_ms,
+        trace,
     })
 }
 
@@ -128,6 +143,33 @@ fn write_outputs(dir: &PathBuf, fig: &FigureResult) -> std::io::Result<()> {
         dir.join(format!("{}.json", fig.id)),
         serde_json::to_string_pretty(&clean).expect("figure serializes"),
     )?;
+    Ok(())
+}
+
+/// Run the representative E26 collapse point with full event tracing and
+/// write the Chrome-trace JSON (`path`) plus the JSONL event stream
+/// (`path` + ".jsonl").
+fn write_trace(path: &PathBuf, profile: &Profile) -> std::io::Result<()> {
+    let config = extensions::e26_trace_config(profile);
+    let (report, trace) = ddbm_core::run_traced(config)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let mut chrome = std::io::BufWriter::new(std::fs::File::create(path)?);
+    trace.write_chrome_trace(&mut chrome)?;
+    let jsonl_path = {
+        let mut os = path.clone().into_os_string();
+        os.push(".jsonl");
+        PathBuf::from(os)
+    };
+    let mut jsonl = std::io::BufWriter::new(std::fs::File::create(&jsonl_path)?);
+    trace.write_jsonl(&mut jsonl)?;
+    eprintln!(
+        "trace: {} events ({} dropped) from {} commits → {} + {}",
+        trace.events.len(),
+        trace.dropped,
+        report.commits,
+        path.display(),
+        jsonl_path.display(),
+    );
     Ok(())
 }
 
@@ -167,6 +209,14 @@ fn main() {
         } else {
             figures::by_id(&runner, &args.profile, id).expect("id validated in parse_args")
         };
+        if id == "e26" {
+            if let Some(path) = &args.trace {
+                if let Err(e) = write_trace(path, &args.profile) {
+                    eprintln!("error: could not write trace {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
         for fig in &figs {
             println!("{}", fig.to_table());
             if args.charts {

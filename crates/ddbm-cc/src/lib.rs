@@ -28,5 +28,5 @@ pub mod woundwait;
 
 pub use common::{AccessReply, AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
 pub use locktable::{LockOutcome, LockTable};
-pub use manager::{make_manager, make_manager_with, CcManager};
+pub use manager::{make_manager, make_manager_with, CcManager, LockStats};
 pub use waitsfor::{find_cycle, resolve_deadlocks};

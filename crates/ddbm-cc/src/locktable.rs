@@ -376,6 +376,16 @@ impl LockTable {
     pub fn active_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Number of transactions currently holding at least one lock here.
+    pub fn holding_txns(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Number of transactions currently waiting for at least one lock here.
+    pub fn waiting_txns(&self) -> usize {
+        self.waiting.len()
+    }
 }
 
 #[cfg(test)]

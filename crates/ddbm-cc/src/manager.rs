@@ -15,6 +15,16 @@ use crate::waitdie::WaitDie;
 use crate::woundwait::WoundWait;
 use ddbm_config::{Algorithm, PageId, TxnId};
 
+/// A snapshot of one node's lock-table occupancy, for the trace's
+/// lock-wait events. Counts transactions, not pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockStats {
+    /// Transactions holding at least one lock on this node.
+    pub held: usize,
+    /// Transactions waiting for at least one lock on this node.
+    pub waiting: usize,
+}
+
 /// A node-local concurrency control manager.
 pub trait CcManager: Send {
     /// The cohort of `txn` wants to access `page`; `write` means the page
@@ -40,6 +50,13 @@ pub trait CcManager: Send {
     /// detection. Empty for non-locking algorithms.
     fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
         Vec::new()
+    }
+
+    /// A lock-occupancy snapshot for observability, or `None` for
+    /// algorithms with no lock table. Read-only and O(1): called only when
+    /// event tracing is enabled, and never affects scheduling decisions.
+    fn lock_stats(&self) -> Option<LockStats> {
+        None
     }
 
     /// The algorithm this manager implements.

@@ -184,6 +184,13 @@ impl CcManager for WoundWait {
         self.table.waits_for_edges()
     }
 
+    fn lock_stats(&self) -> Option<crate::manager::LockStats> {
+        Some(crate::manager::LockStats {
+            held: self.table.holding_txns(),
+            waiting: self.table.waiting_txns(),
+        })
+    }
+
     fn algorithm(&self) -> Algorithm {
         Algorithm::WoundWait
     }

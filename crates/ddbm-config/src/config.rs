@@ -5,6 +5,7 @@ use crate::fault::FaultParams;
 use crate::ids::NodeId;
 use crate::params::{Algorithm, DatabaseParams, SimControl, SystemParams, WorkloadParams};
 use crate::placement::Placement;
+use crate::trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to run one simulation: machine, database, workload,
@@ -24,6 +25,9 @@ pub struct Config {
     /// Fault injection (extension; defaults to fault-free).
     #[serde(default)]
     pub faults: FaultParams,
+    /// Observability (extension; defaults to fully off).
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 /// A configuration error found by [`Config::validate`].
@@ -55,6 +59,7 @@ impl Config {
             algorithm,
             control: SimControl::default(),
             faults: FaultParams::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -184,6 +189,9 @@ impl Config {
             return err("2PL-T requires a positive lock_timeout".into());
         }
         if let Err(m) = self.faults.validate() {
+            return err(m);
+        }
+        if let Err(m) = self.trace.validate() {
             return err(m);
         }
         Ok(())

@@ -17,6 +17,7 @@ pub mod fault;
 pub mod ids;
 pub mod params;
 pub mod placement;
+pub mod trace;
 
 pub use config::{Config, ConfigError};
 pub use fault::{CrashWindow, FaultParams, FaultPlan, StallWindow};
@@ -25,3 +26,4 @@ pub use params::{
     Algorithm, DatabaseParams, ExecPattern, SimControl, SystemParams, WorkloadParams,
 };
 pub use placement::Placement;
+pub use trace::TraceConfig;

@@ -1,0 +1,110 @@
+//! Observability knobs: phase statistics and the event trace.
+//!
+//! Tracing is strictly an extension over the paper's model. With the default
+//! [`TraceConfig`] (everything off) the simulator takes no trace branch, so
+//! the event sequence — and therefore the determinism golden — stays
+//! bit-identical to a build without the subsystem. Enabling tracing draws
+//! nothing from any RNG stream: the recorded events are a pure function of
+//! the simulation's own deterministic schedule, so a traced run still
+//! commits and aborts the exact same transactions at the exact same times
+//! as an untraced run of the same configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Observability configuration. All collection defaults to off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Collect per-phase latency histograms and the per-cause abort latency
+    /// split, surfaced as `RunReport::phase_breakdown`.
+    #[serde(default)]
+    pub phase_stats: bool,
+    /// Record the event trace (phase transitions, lock waits, messages,
+    /// resource busy/idle) into a preallocated ring buffer, for export as
+    /// Chrome-trace JSON / JSONL via `run_traced`.
+    #[serde(default)]
+    pub events: bool,
+    /// Ring-buffer capacity in events; `0` selects the default (2^20).
+    /// When the ring fills, the oldest events are overwritten (the report
+    /// records how many were lost).
+    #[serde(default)]
+    pub event_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default ring capacity when [`TraceConfig::event_capacity`] is zero.
+    pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
+
+    /// True when any collection is enabled. The simulator hoists this into
+    /// a single bool and gates every instrumentation hook on it, keeping
+    /// the disabled path branch-only.
+    pub fn any(&self) -> bool {
+        self.phase_stats || self.events
+    }
+
+    /// The effective ring capacity.
+    pub fn capacity(&self) -> usize {
+        if self.event_capacity == 0 {
+            Self::DEFAULT_EVENT_CAPACITY
+        } else {
+            self.event_capacity
+        }
+    }
+
+    /// Check parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.event_capacity > (1 << 28) {
+            return Err(format!(
+                "trace.event_capacity {} is unreasonably large (max 2^28)",
+                self.event_capacity
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::derivable_impls)] // explicit: all-off is the determinism gate
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            phase_stats: false,
+            events: false,
+            event_capacity: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_disabled() {
+        let t = TraceConfig::default();
+        assert!(!t.any());
+        assert_eq!(t.capacity(), TraceConfig::DEFAULT_EVENT_CAPACITY);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn any_tracks_each_knob() {
+        let mut t = TraceConfig {
+            phase_stats: true,
+            ..TraceConfig::default()
+        };
+        assert!(t.any());
+        t.phase_stats = false;
+        t.events = true;
+        assert!(t.any());
+    }
+
+    #[test]
+    fn capacity_override_and_bounds() {
+        let mut t = TraceConfig {
+            event_capacity: 4096,
+            ..TraceConfig::default()
+        };
+        assert_eq!(t.capacity(), 4096);
+        t.event_capacity = 1 << 29;
+        assert!(t.validate().is_err());
+    }
+}

@@ -33,11 +33,17 @@ pub mod metrics;
 pub mod protocol;
 pub mod simulator;
 pub mod store;
+pub mod trace;
 pub mod txn;
 pub mod workload;
 
 pub use history::HistoryRecorder;
-pub use metrics::{AbortBreakdown, FaultStats, MetricsCollector, RunReport};
+pub use metrics::{
+    AbortBreakdown, CauseLatency, FaultStats, MetricsCollector, PhaseBreakdown, PhaseCollector,
+    PhaseStats, RunReport,
+};
 pub use protocol::AbortCause;
-pub use simulator::{run_chaos, run_config, run_with_history, Simulator};
+pub use simulator::{run_chaos, run_config, run_traced, run_with_history, Simulator};
+pub use trace::{PhaseSpan, TraceEvent, TraceLog, Tracer, TxnTrace};
+pub use txn::PhaseBucket;
 pub use workload::{generate_template, Access, CohortSpec, TxnTemplate};

@@ -2,7 +2,8 @@
 //! by the experiment harness), abort ratio, blocking time, and utilizations.
 
 use crate::protocol::AbortCause;
-use denet::{BatchMeans, SimDuration, SimTime, Tally};
+use crate::txn::PhaseBucket;
+use denet::{BatchMeans, LogHistogram, SimDuration, SimTime, Tally};
 use serde::{Deserialize, Serialize};
 
 /// Aborted runs in the measurement window, split by cause. The sum of the
@@ -92,6 +93,209 @@ pub struct FaultStats {
     pub disk_stalls: u64,
 }
 
+/// Distribution summary of one phase bucket (or of the end-to-end response
+/// time): count, exact total/mean, and histogram-derived percentiles. All
+/// times in seconds. The percentiles come from a log-bucketed histogram
+/// with 32 sub-buckets per octave, so they carry ≤ ~1.6% relative error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Transactions contributing to this bucket (committed transactions for
+    /// phase buckets; every bucket sees all of them, possibly with zero time).
+    #[serde(default)]
+    pub count: u64,
+    /// Exact total time in this bucket across all contributors, seconds.
+    #[serde(default)]
+    pub total_s: f64,
+    /// Exact mean time per contributor, seconds (0 when empty).
+    #[serde(default)]
+    pub mean_s: f64,
+    /// Median, seconds (histogram-approximate).
+    #[serde(default)]
+    pub p50_s: f64,
+    /// 95th percentile, seconds (histogram-approximate).
+    #[serde(default)]
+    pub p95_s: f64,
+    /// 99th percentile, seconds (histogram-approximate).
+    #[serde(default)]
+    pub p99_s: f64,
+}
+
+/// Latency of aborted runs for one abort cause: how long a run lived
+/// (run start → abort completion) before dying of this cause.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CauseLatency {
+    /// The abort cause label (see `AbortCause::label`).
+    #[serde(default)]
+    pub cause: String,
+    /// Aborted runs with this cause in the measurement window.
+    #[serde(default)]
+    pub count: u64,
+    /// Mean run lifetime before the abort, seconds.
+    #[serde(default)]
+    pub mean_s: f64,
+    /// Longest run lifetime before the abort, seconds.
+    #[serde(default)]
+    pub max_s: f64,
+}
+
+/// Where committed transactions spent their lifetimes, split into the six
+/// disjoint [`PhaseBucket`]s (whose totals sum exactly to the end-to-end
+/// response total), plus the response-time distribution itself and a
+/// per-cause abort latency split.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Useful execution (no cohort lock-blocked).
+    #[serde(default)]
+    pub execute: PhaseStats,
+    /// At least one cohort blocked on a lock.
+    #[serde(default)]
+    pub lock_wait: PhaseStats,
+    /// Commit phase 1 (prepare/vote).
+    #[serde(default)]
+    pub prepare: PhaseStats,
+    /// Commit phase 2 (decision/ack).
+    #[serde(default)]
+    pub commit: PhaseStats,
+    /// Abort processing of runs that later restarted.
+    #[serde(default)]
+    pub abort: PhaseStats,
+    /// Post-abort restart delays.
+    #[serde(default)]
+    pub restart_wait: PhaseStats,
+    /// End-to-end response time (origin → commit); its total equals the sum
+    /// of the six phase totals.
+    #[serde(default)]
+    pub response: PhaseStats,
+    /// Aborted-run latency by cause (causes with no aborts are omitted).
+    #[serde(default)]
+    pub abort_latency: Vec<CauseLatency>,
+}
+
+impl PhaseBreakdown {
+    /// The six phase entries paired with their bucket labels, in
+    /// [`PhaseBucket::ALL`] order.
+    pub fn phases(&self) -> [(&'static str, &PhaseStats); 6] {
+        [
+            ("execute", &self.execute),
+            ("lock_wait", &self.lock_wait),
+            ("prepare", &self.prepare),
+            ("commit", &self.commit),
+            ("abort", &self.abort),
+            ("restart_wait", &self.restart_wait),
+        ]
+    }
+}
+
+/// Live phase-distribution collectors, attached to the [`MetricsCollector`]
+/// only when `trace.phase_stats` is enabled (boxed: the histograms are a few
+/// tens of KiB and must not bloat every fault-free simulation).
+#[derive(Debug, Clone)]
+pub struct PhaseCollector {
+    /// Per-bucket latency histograms over committed transactions (ns).
+    hists: [LogHistogram; 6],
+    /// Per-bucket exact total time over committed transactions (ns).
+    totals: [u64; 6],
+    /// End-to-end response-time histogram (ns).
+    response: LogHistogram,
+    /// Exact end-to-end response total (ns).
+    response_total: u64,
+    /// Aborted-run lifetime (run start → abort completion) per cause, seconds.
+    abort_latency: [Tally; 7],
+}
+
+/// Histogram resolution: 32 sub-buckets per octave (≤ ~1.6% error).
+const PHASE_HIST_SUB_BITS: u32 = 5;
+
+impl PhaseCollector {
+    /// Create a new instance.
+    pub fn new() -> PhaseCollector {
+        PhaseCollector {
+            hists: std::array::from_fn(|_| LogHistogram::new(PHASE_HIST_SUB_BITS)),
+            totals: [0; 6],
+            response: LogHistogram::new(PHASE_HIST_SUB_BITS),
+            response_total: 0,
+            abort_latency: std::array::from_fn(|_| Tally::new()),
+        }
+    }
+
+    /// Record a committed transaction's lifetime split (`phase_ns`, indexed
+    /// by [`PhaseBucket::index`]) and end-to-end response time.
+    pub fn record_commit(&mut self, phase_ns: &[u64; 6], response: SimDuration) {
+        for (i, &ns) in phase_ns.iter().enumerate() {
+            self.hists[i].record(ns);
+            self.totals[i] += ns;
+        }
+        self.response.record(response.0);
+        self.response_total += response.0;
+    }
+
+    /// Record an aborted run's lifetime (run start → abort completion).
+    pub fn record_abort(&mut self, cause: AbortCause, lifetime: SimDuration) {
+        self.abort_latency[cause.index()].record_duration(lifetime);
+    }
+
+    /// End of warmup: discard everything measured so far.
+    pub fn reset(&mut self) {
+        for h in &mut self.hists {
+            h.reset();
+        }
+        self.totals = [0; 6];
+        self.response.reset();
+        self.response_total = 0;
+        for t in &mut self.abort_latency {
+            t.reset();
+        }
+    }
+
+    /// Summarize into the report's [`PhaseBreakdown`].
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        let ns = 1e-9;
+        let stats = |h: &LogHistogram, total: u64| {
+            let count = h.count();
+            PhaseStats {
+                count,
+                total_s: total as f64 * ns,
+                mean_s: if count == 0 {
+                    0.0
+                } else {
+                    total as f64 * ns / count as f64
+                },
+                p50_s: h.p50().unwrap_or(0) as f64 * ns,
+                p95_s: h.p95().unwrap_or(0) as f64 * ns,
+                p99_s: h.p99().unwrap_or(0) as f64 * ns,
+            }
+        };
+        let phase = |b: PhaseBucket| stats(&self.hists[b.index()], self.totals[b.index()]);
+        PhaseBreakdown {
+            execute: phase(PhaseBucket::Execute),
+            lock_wait: phase(PhaseBucket::LockWait),
+            prepare: phase(PhaseBucket::Prepare),
+            commit: phase(PhaseBucket::Commit),
+            abort: phase(PhaseBucket::Abort),
+            restart_wait: phase(PhaseBucket::RestartWait),
+            response: stats(&self.response, self.response_total),
+            abort_latency: AbortCause::ALL
+                .iter()
+                .filter_map(|&cause| {
+                    let t = &self.abort_latency[cause.index()];
+                    (t.count() > 0).then(|| CauseLatency {
+                        cause: cause.label().to_string(),
+                        count: t.count(),
+                        mean_s: t.mean(),
+                        max_s: t.max().unwrap_or(0.0),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for PhaseCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Live collectors, reset at the end of warmup.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
@@ -117,6 +321,9 @@ pub struct MetricsCollector {
     /// Batch-means estimator over response times (batches of 100 commits),
     /// for the confidence interval reported in `RunReport`.
     pub response_batches: BatchMeans,
+    /// Phase-distribution collectors; present only when `trace.phase_stats`
+    /// is enabled (None keeps the default path allocation-free).
+    pub phases: Option<Box<PhaseCollector>>,
 }
 
 impl MetricsCollector {
@@ -133,6 +340,7 @@ impl MetricsCollector {
             measure_start: SimTime::ZERO,
             total_commits: 0,
             response_batches: BatchMeans::new(100),
+            phases: None,
         }
     }
 
@@ -175,6 +383,9 @@ impl MetricsCollector {
         self.aborts_by_cause = AbortBreakdown::default();
         self.blocking_time.reset();
         self.response_batches.reset();
+        if let Some(p) = &mut self.phases {
+            p.reset();
+        }
         self.measure_start = now;
     }
 }
@@ -239,6 +450,10 @@ pub struct RunReport {
     /// ordinary runs, which stop at the commit target.
     #[serde(default)]
     pub drained: bool,
+    /// Extension: per-phase latency breakdown over committed transactions,
+    /// present only when the run was configured with `trace.phase_stats`.
+    #[serde(default)]
+    pub phase_breakdown: Option<PhaseBreakdown>,
 }
 
 impl RunReport {
@@ -294,6 +509,7 @@ mod tests {
             aborts_by_cause: AbortBreakdown::default(),
             fault_stats: FaultStats::default(),
             drained: false,
+            phase_breakdown: None,
         }
     }
 

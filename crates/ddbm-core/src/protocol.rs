@@ -40,6 +40,45 @@ pub enum AbortCause {
     CohortTimeout,
 }
 
+impl AbortCause {
+    /// Every cause, in a fixed order (for per-cause breakdown tables).
+    pub const ALL: [AbortCause; 7] = [
+        AbortCause::Deadlock,
+        AbortCause::Wound,
+        AbortCause::Timestamp,
+        AbortCause::Validation,
+        AbortCause::LockTimeout,
+        AbortCause::NodeCrash,
+        AbortCause::CohortTimeout,
+    ];
+
+    /// A short static label for reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::Deadlock => "deadlock",
+            AbortCause::Wound => "wound",
+            AbortCause::Timestamp => "timestamp",
+            AbortCause::Validation => "validation",
+            AbortCause::LockTimeout => "lock_timeout",
+            AbortCause::NodeCrash => "node_crash",
+            AbortCause::CohortTimeout => "cohort_timeout",
+        }
+    }
+
+    /// The position of this cause in [`AbortCause::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::Deadlock => 0,
+            AbortCause::Wound => 1,
+            AbortCause::Timestamp => 2,
+            AbortCause::Validation => 3,
+            AbortCause::LockTimeout => 4,
+            AbortCause::NodeCrash => 5,
+            AbortCause::CohortTimeout => 6,
+        }
+    }
+}
+
 /// A message travelling between nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -161,6 +200,26 @@ pub enum MsgKind {
     },
     /// Snoop → next node: the Snoop role is yours now.
     SnoopPass,
+}
+
+impl MsgKind {
+    /// A short static label for trace output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MsgKind::LoadCohort { .. } => "LoadCohort",
+            MsgKind::CohortDone { .. } => "CohortDone",
+            MsgKind::Prepare { .. } => "Prepare",
+            MsgKind::Vote { .. } => "Vote",
+            MsgKind::Decision { .. } => "Decision",
+            MsgKind::Ack { .. } => "Ack",
+            MsgKind::AbortRequest { .. } => "AbortRequest",
+            MsgKind::AbortCohort { .. } => "AbortCohort",
+            MsgKind::AbortAck { .. } => "AbortAck",
+            MsgKind::SnoopRequest { .. } => "SnoopRequest",
+            MsgKind::SnoopReply { .. } => "SnoopReply",
+            MsgKind::SnoopPass => "SnoopPass",
+        }
+    }
 }
 
 /// Tags for CPU jobs. Message-class jobs are `MsgSend`/`MsgRecv`; everything

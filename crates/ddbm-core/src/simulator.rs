@@ -10,9 +10,10 @@
 //! abort protocols rely on.
 
 use crate::history::HistoryRecorder;
-use crate::metrics::{MetricsCollector, RunReport};
+use crate::metrics::{MetricsCollector, PhaseCollector, RunReport};
 use crate::protocol::{AbortCause, CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
 use crate::store::TxnStore;
+use crate::trace::{TraceEvent, TraceLog, Tracer};
 use crate::txn::{TxnPhase, TxnRuntime};
 use crate::workload::{generate_template, TxnTemplate};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
@@ -97,6 +98,13 @@ pub struct Simulator {
     /// gated on this so the fault-free simulation is bit-identical to the
     /// pre-fault-injection simulator.
     faults_enabled: bool,
+    /// `config.trace.phase_stats`, hoisted: gates the per-transaction phase
+    /// clock the same way `faults_enabled` gates fault branches, so a run
+    /// without phase stats is bit-identical to the pre-observability
+    /// simulator.
+    trace_phases: bool,
+    /// The event recorder, present only when `config.trace.events` is on.
+    tracer: Option<Box<Tracer>>,
     /// Chaos mode: after the measurement target is reached, keep the event
     /// loop running but stop admitting new transactions, so every live
     /// transaction can run to commit (the liveness check).
@@ -131,6 +139,17 @@ impl Simulator {
             })
             .collect();
         let faults_enabled = config.faults.any();
+        let trace_phases = config.trace.phase_stats;
+        let tracer = config.trace.events.then(|| {
+            Box::new(Tracer::new(
+                config.trace.capacity(),
+                config.system.num_nodes(),
+            ))
+        });
+        let mut metrics = MetricsCollector::new();
+        if trace_phases {
+            metrics.phases = Some(Box::new(PhaseCollector::new()));
+        }
         let snoop = (config.algorithm == Algorithm::TwoPhaseLocking).then(|| SnoopState {
             current: NodeId(1),
             round: 0,
@@ -153,9 +172,11 @@ impl Simulator {
             rng_disk: SimRng::derive(seed, "disk"),
             rng_fault: SimRng::derive(seed, "fault"),
             faults_enabled,
+            trace_phases,
+            tracer,
             draining: false,
             history: config.control.record_history.then(HistoryRecorder::new),
-            metrics: MetricsCollector::new(),
+            metrics,
             warmup_done: false,
             snoop: None.or(snoop),
             finished: false,
@@ -318,6 +339,7 @@ impl Simulator {
             aborts_by_cause: m.aborts_by_cause,
             fault_stats: m.faults,
             drained: self.draining && self.txns.is_empty(),
+            phase_breakdown: m.phases.as_ref().map(|p| p.breakdown()),
             buffer_hit_ratio: {
                 let (hits, misses) = self.nodes[1..].iter().fold((0u64, 0u64), |(h, m), n| {
                     (h + n.buffer.hits(), m + n.buffer.misses())
@@ -673,6 +695,16 @@ impl Simulator {
             generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
         let txn = TxnRuntime::new(id, terminal, template, now);
         self.txns.insert(txn);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run: 1,
+                    phase: TxnPhase::Executing,
+                },
+            );
+        }
         // Run 1 pays the coordinator process-startup cost at the host.
         let startup = self.config.system.inst_per_startup as f64;
         self.cpu_shared(
@@ -688,8 +720,21 @@ impl Simulator {
             return;
         };
         debug_assert_eq!(txn.phase, TxnPhase::WaitingRestart);
+        if self.trace_phases {
+            txn.phase_clock(now);
+        }
         txn.begin_run(now);
         let run = txn.run;
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Executing,
+                },
+            );
+        }
         // The coordinator process survives restarts; only the cohorts are
         // re-initiated, so no CoordStartup cost here.
         self.load_cohorts(now, id, run);
@@ -820,6 +865,22 @@ impl Simulator {
             AccessReply::Blocked => {
                 if let Some(t) = self.txns.get_mut(id) {
                     t.cohorts[cohort].blocked_since = Some(now);
+                    if self.trace_phases {
+                        t.phase_clock(now);
+                        t.blocked_cohorts += 1;
+                    }
+                }
+                if let Some(tr) = &mut self.tracer {
+                    let stats = self.nodes[node.0].cc.lock_stats().unwrap_or_default();
+                    tr.push(
+                        now,
+                        TraceEvent::LockWaitBegin {
+                            txn: id,
+                            node,
+                            held: stats.held as u32,
+                            waiting: stats.waiting as u32,
+                        },
+                    );
                 }
                 if self.config.algorithm == Algorithm::TwoPhaseLockingTimeout {
                     self.calendar.schedule_after(
@@ -958,6 +1019,13 @@ impl Simulator {
                 if txn.phase == TxnPhase::Executing {
                     self.metrics.record_blocking(now.since(since));
                 }
+                if self.trace_phases {
+                    txn.phase_clock(now);
+                    txn.blocked_cohorts = txn.blocked_cohorts.saturating_sub(1);
+                }
+                if let Some(tr) = &mut self.tracer {
+                    tr.push(now, TraceEvent::LockWaitEnd { txn: id, node });
+                }
             }
             let access = txn.cohorts[cohort].next_access;
             self.access_granted(now, node, id, run, cohort, access);
@@ -973,6 +1041,13 @@ impl Simulator {
             if let Some(since) = txn.cohorts[cohort].blocked_since.take() {
                 if txn.phase == TxnPhase::Executing {
                     self.metrics.record_blocking(now.since(since));
+                }
+                if self.trace_phases {
+                    txn.phase_clock(now);
+                    txn.blocked_cohorts = txn.blocked_cohorts.saturating_sub(1);
+                }
+                if let Some(tr) = &mut self.tracer {
+                    tr.push(now, TraceEvent::LockWaitEnd { txn: id, node });
                 }
             }
             self.send(
@@ -1009,6 +1084,16 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn handle_message(&mut self, now: SimTime, msg: Message) {
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::MsgArrive {
+                    from: msg.from,
+                    to: msg.to,
+                    kind: msg.kind.tag(),
+                },
+            );
+        }
         let node = msg.to;
         match msg.kind {
             MsgKind::LoadCohort { txn, run, cohort } => {
@@ -1162,12 +1247,25 @@ impl Simulator {
         }
         // All cohorts done: begin phase 1 of commit with a globally unique
         // commit timestamp (used by OPT certification).
+        if self.trace_phases {
+            txn.phase_clock(now);
+        }
         txn.phase = TxnPhase::Preparing;
         txn.votes_received = 0;
         txn.all_yes = true;
         let commit_ts = Ts::new(now.0, id);
         txn.commit_ts = Some(commit_ts);
         let template = Rc::clone(&txn.template);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Preparing,
+                },
+            );
+        }
         for (cohort, spec) in template.cohorts.iter().enumerate() {
             self.send(
                 now,
@@ -1210,13 +1308,27 @@ impl Simulator {
             return;
         }
         let commit = txn.all_yes;
+        if self.trace_phases {
+            txn.phase_clock(now);
+        }
         txn.phase = if commit {
             TxnPhase::Committing
         } else {
             TxnPhase::AbortingVote
         };
         txn.acks_outstanding = txn.template.cohorts.len();
+        let new_phase = txn.phase;
         let template = Rc::clone(&txn.template);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: new_phase,
+                },
+            );
+        }
         for (cohort, spec) in template.cohorts.iter().enumerate() {
             self.send(
                 now,
@@ -1351,11 +1463,21 @@ impl Simulator {
     /// The transaction is durably committed: record metrics, free state, and
     /// put the terminal back to thinking.
     fn complete_commit(&mut self, now: SimTime, id: TxnId) {
-        let txn = self.txns.remove(id).expect("committing txn exists");
+        let mut txn = self.txns.remove(id).expect("committing txn exists");
         if let Some(h) = &mut self.history {
             h.commit(id, txn.run);
         }
-        self.metrics.record_commit(now.since(txn.origin));
+        let response = now.since(txn.origin);
+        self.metrics.record_commit(response);
+        if self.trace_phases {
+            txn.phase_clock(now);
+            if let Some(p) = &mut self.metrics.phases {
+                p.record_commit(&txn.phase_ns, response);
+            }
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.push(now, TraceEvent::Committed { txn: id });
+        }
         let delay = self.think_delay();
         self.calendar.schedule_after(
             delay,
@@ -1372,14 +1494,31 @@ impl Simulator {
         let Some(txn) = self.txns.get_mut(id) else {
             return;
         };
+        if self.trace_phases {
+            txn.phase_clock(now);
+        }
         txn.phase = TxnPhase::WaitingRestart;
         let fallback = now.since(txn.origin);
         let run = txn.run;
+        let run_lifetime = now.since(txn.run_start);
         let cause = txn.abort_cause.take().unwrap_or(AbortCause::Validation);
         if let Some(h) = &mut self.history {
             h.abort(id, run);
         }
         self.metrics.record_abort(cause);
+        if let Some(p) = &mut self.metrics.phases {
+            p.record_abort(cause, run_lifetime);
+        }
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::WaitingRestart,
+                },
+            );
+        }
         let delay = self.metrics.restart_delay(fallback);
         self.calendar
             .schedule_after(delay, Event::Restart { txn: id });
@@ -1395,8 +1534,21 @@ impl Simulator {
         // Kill this run: dismantle every cohort loaded so far. Cohorts lost
         // to a crash have nothing left to dismantle — their acknowledgement
         // is implicit, so only the surviving cohorts are counted and told.
+        if self.trace_phases {
+            txn.phase_clock(now);
+        }
         txn.phase = TxnPhase::Aborting;
         txn.abort_cause = Some(cause);
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Aborting,
+                },
+            );
+        }
         let mut live = 0usize;
         for c in &mut txn.cohorts {
             if !c.loaded {
@@ -1600,6 +1752,10 @@ impl Simulator {
     /// unchanged predictions keep their event, moved ones cancel the old
     /// event and schedule a replacement, vanished ones just cancel.
     fn flush_resched_cpu(&mut self, node: NodeId) {
+        if let Some(tr) = &mut self.tracer {
+            let busy = !self.nodes[node.0].cpu.is_idle();
+            tr.note_cpu(self.calendar.now(), node, busy);
+        }
         let state = &mut self.nodes[node.0];
         match state.cpu.next_completion() {
             Some(at) => {
@@ -1656,6 +1812,10 @@ impl Simulator {
     }
 
     fn flush_resched_disks(&mut self, node: NodeId) {
+        if let Some(tr) = &mut self.tracer {
+            let busy = self.nodes[node.0].disks.any_busy();
+            tr.note_disk(self.calendar.now(), node, busy);
+        }
         let state = &mut self.nodes[node.0];
         match state.disks.next_completion() {
             Some(at) => {
@@ -1688,6 +1848,16 @@ impl Simulator {
 
     /// Queue the send-side protocol processing for a message.
     fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, kind: MsgKind) {
+        if let Some(tr) = &mut self.tracer {
+            tr.push(
+                now,
+                TraceEvent::MsgSend {
+                    from,
+                    to,
+                    kind: kind.tag(),
+                },
+            );
+        }
         let msg = Message { from, to, kind };
         let instr = self.config.system.inst_per_msg as f64;
         self.touch_cpu(now, from);
@@ -1882,6 +2052,21 @@ pub fn run_with_history(mut config: Config) -> Result<(RunReport, HistoryRecorde
     let report = sim.report(sim.calendar.now());
     let history = sim.history.take().expect("recording was enabled");
     Ok((report, history))
+}
+
+/// Run with event tracing and phase statistics forced on; returns the
+/// report together with the sealed [`TraceLog`], ready for export as
+/// Chrome-trace JSON or JSONL.
+pub fn run_traced(mut config: Config) -> Result<(RunReport, TraceLog), ConfigError> {
+    config.trace.events = true;
+    config.trace.phase_stats = true;
+    let mut sim = Simulator::new(config)?;
+    sim.seed();
+    sim.drive(false);
+    let end = sim.calendar.now();
+    let report = sim.report(end);
+    let trace = sim.tracer.take().expect("tracing was enabled").finish(end);
+    Ok((report, trace))
 }
 
 /// Chaos-suite entry point: run with history recording on, then keep the

@@ -26,6 +26,79 @@ pub enum TxnPhase {
     WaitingRestart,
 }
 
+/// The six wall-clock buckets the observability layer partitions a
+/// transaction's lifetime into. Unlike [`TxnPhase`], the `Executing` phase
+/// is split into useful work ([`PhaseBucket::Execute`]) and lock waiting
+/// ([`PhaseBucket::LockWait`], any cohort blocked on a CC request), and the
+/// post-abort restart delay gets its own bucket. The buckets are exhaustive
+/// and disjoint, so their durations sum exactly to the transaction's
+/// end-to-end (origin → commit) latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseBucket {
+    /// Executing with no cohort blocked: startup, CC requests, page
+    /// processing, messaging.
+    Execute,
+    /// Executing with at least one cohort blocked on a lock.
+    LockWait,
+    /// Phase 1 of commit (prepare/vote round).
+    Prepare,
+    /// Phase 2, commit decided (decision/ack round).
+    Commit,
+    /// Abort processing (a "no"-vote round or the out-of-band protocol).
+    Abort,
+    /// Waiting out the restart delay after an abort completed.
+    RestartWait,
+}
+
+impl PhaseBucket {
+    /// Every bucket, in accumulation-array order.
+    pub const ALL: [PhaseBucket; 6] = [
+        PhaseBucket::Execute,
+        PhaseBucket::LockWait,
+        PhaseBucket::Prepare,
+        PhaseBucket::Commit,
+        PhaseBucket::Abort,
+        PhaseBucket::RestartWait,
+    ];
+
+    /// The bucket for a transaction in `phase` with `blocked` cohorts
+    /// currently waiting on locks.
+    pub fn of(phase: TxnPhase, blocked: u32) -> PhaseBucket {
+        match phase {
+            TxnPhase::Executing if blocked > 0 => PhaseBucket::LockWait,
+            TxnPhase::Executing => PhaseBucket::Execute,
+            TxnPhase::Preparing => PhaseBucket::Prepare,
+            TxnPhase::Committing => PhaseBucket::Commit,
+            TxnPhase::AbortingVote | TxnPhase::Aborting => PhaseBucket::Abort,
+            TxnPhase::WaitingRestart => PhaseBucket::RestartWait,
+        }
+    }
+
+    /// Position in [`PhaseBucket::ALL`] (and in `phase_ns` arrays).
+    pub fn index(self) -> usize {
+        match self {
+            PhaseBucket::Execute => 0,
+            PhaseBucket::LockWait => 1,
+            PhaseBucket::Prepare => 2,
+            PhaseBucket::Commit => 3,
+            PhaseBucket::Abort => 4,
+            PhaseBucket::RestartWait => 5,
+        }
+    }
+
+    /// A short static label for reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseBucket::Execute => "execute",
+            PhaseBucket::LockWait => "lock_wait",
+            PhaseBucket::Prepare => "prepare",
+            PhaseBucket::Commit => "commit",
+            PhaseBucket::Abort => "abort",
+            PhaseBucket::RestartWait => "restart_wait",
+        }
+    }
+}
+
 /// Coordinator-side view of one cohort in the current run.
 #[derive(Debug, Clone, Default)]
 pub struct CohortRun {
@@ -89,6 +162,16 @@ pub struct TxnRuntime {
     /// Why the current run is aborting; set when the abort takes effect and
     /// consumed by the metrics collector when the abort completes.
     pub abort_cause: Option<AbortCause>,
+    /// Observability: integer-ns time accumulated per [`PhaseBucket`] over
+    /// the transaction's whole lifetime (all runs). Maintained only when
+    /// phase tracing is enabled; always-zero otherwise.
+    pub phase_ns: [u64; 6],
+    /// Observability: when `phase_ns` was last brought up to date. The time
+    /// since then belongs to the current `(phase, blocked_cohorts)` bucket.
+    pub phase_since: SimTime,
+    /// Observability: cohorts of the current run blocked on a CC request
+    /// (distinguishes `LockWait` from `Execute` inside `Executing`).
+    pub blocked_cohorts: u32,
 }
 
 impl TxnRuntime {
@@ -109,6 +192,9 @@ impl TxnRuntime {
             acks_outstanding: 0,
             commit_ts: None,
             abort_cause: None,
+            phase_ns: [0; 6],
+            phase_since: now,
+            blocked_cohorts: 0,
         }
     }
 
@@ -134,6 +220,19 @@ impl TxnRuntime {
         self.acks_outstanding = 0;
         self.commit_ts = None;
         self.abort_cause = None;
+        // `phase_ns`/`phase_since` deliberately survive: the breakdown
+        // accounts the transaction's whole lifetime across restarts.
+        self.blocked_cohorts = 0;
+    }
+
+    /// Observability: charge the time since `phase_since` to the current
+    /// phase bucket and restart the clock at `now`. Call *before* any state
+    /// change that moves the transaction to a different bucket.
+    #[inline]
+    pub fn phase_clock(&mut self, now: SimTime) {
+        let bucket = PhaseBucket::of(self.phase, self.blocked_cohorts);
+        self.phase_ns[bucket.index()] += now.since(self.phase_since).0;
+        self.phase_since = now;
     }
 
     /// The cohort index running at `node`, if any.
@@ -244,6 +343,54 @@ mod tests {
         assert_eq!(t.cohort_at(NodeId(1)), Some(0));
         assert_eq!(t.cohort_at(NodeId(2)), Some(1));
         assert_eq!(t.cohort_at(NodeId(3)), None);
+    }
+
+    #[test]
+    fn phase_clock_partitions_lifetime_exactly() {
+        let mut t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        t.phase_clock(SimTime(150)); // 50 ns Execute
+        t.blocked_cohorts = 1;
+        t.phase_clock(SimTime(170)); // 20 ns LockWait
+        t.blocked_cohorts = 0;
+        t.phase_clock(SimTime(180)); // 10 ns Execute
+        t.phase = TxnPhase::Preparing;
+        t.phase_clock(SimTime(200)); // 20 ns Prepare
+        t.phase = TxnPhase::Committing;
+        t.phase_clock(SimTime(230)); // 30 ns Commit
+        assert_eq!(t.phase_ns, [60, 20, 20, 30, 0, 0]);
+        assert_eq!(t.phase_ns.iter().sum::<u64>(), 230 - 100);
+        // A restart preserves the lifetime accounting.
+        t.phase = TxnPhase::WaitingRestart;
+        t.phase_clock(SimTime(250));
+        t.begin_run(SimTime(250));
+        assert_eq!(t.phase_ns[PhaseBucket::RestartWait.index()], 20);
+        assert_eq!(t.phase_ns.iter().sum::<u64>(), 250 - 100);
+    }
+
+    #[test]
+    fn phase_buckets_cover_all_phases() {
+        for phase in [
+            TxnPhase::Executing,
+            TxnPhase::Preparing,
+            TxnPhase::Committing,
+            TxnPhase::AbortingVote,
+            TxnPhase::Aborting,
+            TxnPhase::WaitingRestart,
+        ] {
+            for blocked in [0, 2] {
+                let b = PhaseBucket::of(phase, blocked);
+                assert_eq!(PhaseBucket::ALL[b.index()], b);
+                assert!(!b.label().is_empty());
+            }
+        }
+        assert_eq!(
+            PhaseBucket::of(TxnPhase::Executing, 1),
+            PhaseBucket::LockWait
+        );
+        assert_eq!(
+            PhaseBucket::of(TxnPhase::Executing, 0),
+            PhaseBucket::Execute
+        );
     }
 
     #[test]

@@ -217,6 +217,12 @@ pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
         e24_ab,
         e25_tp,
         e25_ab,
+        e26_phase_breakdown(
+            runner,
+            profile,
+            &E25_CRASH_RATES,
+            SimDuration::from_millis(E25_RECOVERY_MS),
+        ),
     ]
 }
 
@@ -256,14 +262,7 @@ pub fn e25_fault_study(
     for algo in algos {
         let mut configs = Vec::new();
         for &rate in crash_rates {
-            let mut c = Config::paper(algo, 8, 8, think);
-            c.faults.crash_rate = rate;
-            c.faults.recovery = recovery;
-            c.faults.msg_drop_prob = 0.005;
-            c.faults.msg_delay_prob = 0.01;
-            c.faults.msg_delay_max = SimDuration::from_millis(20);
-            c.faults.msg_retry = SimDuration::from_millis(50);
-            c.faults.cohort_timeout = SimDuration::from_secs_f64(3.0);
+            let mut c = e25_config(algo, think, rate, recovery);
             profile.apply(&mut c);
             configs.push(c);
         }
@@ -303,6 +302,95 @@ pub fn e25_fault_study(
             series: aborts,
         },
     )
+}
+
+/// The E25 operating point: the paper's 8-node/8-way machine at `think` s
+/// think time with deterministic fault injection (seeded crashes plus mild
+/// message drop/delay noise). Shared by E25 and the E26 phase breakdown so
+/// both studies observe the same workload.
+pub fn e25_config(algo: Algorithm, think: f64, crash_rate: f64, recovery: SimDuration) -> Config {
+    let mut c = Config::paper(algo, 8, 8, think);
+    c.faults.crash_rate = crash_rate;
+    c.faults.recovery = recovery;
+    c.faults.msg_drop_prob = 0.005;
+    c.faults.msg_delay_prob = 0.01;
+    c.faults.msg_delay_max = SimDuration::from_millis(20);
+    c.faults.msg_retry = SimDuration::from_millis(50);
+    c.faults.cohort_timeout = SimDuration::from_secs_f64(3.0);
+    c
+}
+
+/// E26: where does E25's time go? Re-runs the fault-study operating points
+/// for 2PL (gradual degradation) and OPT (collapse) with phase statistics
+/// enabled, and plots the mean seconds a committed transaction spends in
+/// each lifecycle phase as the crash rate rises. The collapse mechanism
+/// shows up directly: OPT's execute/restart-wait time balloons with the
+/// crash rate (every fault-killed run re-executes in full before the next
+/// certification attempt), while 2PL's growth concentrates in lock waits
+/// behind queues that crashes repeatedly wipe and rebuild.
+pub fn e26_phase_breakdown(
+    runner: &Runner,
+    profile: &Profile,
+    crash_rates: &[f64],
+    recovery: SimDuration,
+) -> FigureResult {
+    let algos = [Algorithm::TwoPhaseLocking, Algorithm::Optimistic];
+    let think = 1.0;
+    let mut series = Vec::new();
+    for algo in algos {
+        let mut configs = Vec::new();
+        for &rate in crash_rates {
+            let mut c = e25_config(algo, think, rate, recovery);
+            c.trace.phase_stats = true;
+            profile.apply(&mut c);
+            configs.push(c);
+        }
+        let reports = runner.run_all(&configs);
+        let breakdown = |r: &ddbm_core::RunReport| -> ddbm_core::PhaseBreakdown {
+            r.phase_breakdown
+                .clone()
+                .expect("phase stats were enabled for this run")
+        };
+        let phase_labels: Vec<&'static str> = breakdown(&reports[0])
+            .phases()
+            .iter()
+            .map(|(label, _)| *label)
+            .collect();
+        for (pi, label) in phase_labels.iter().enumerate() {
+            series.push(Series {
+                name: format!("{} {}", algo.label(), label),
+                ys: reports
+                    .iter()
+                    .map(|r| breakdown(r).phases()[pi].1.mean_s)
+                    .collect(),
+            });
+        }
+    }
+    let recovery_s = recovery.as_secs_f64();
+    FigureResult {
+        id: "e26-phases".into(),
+        title: format!(
+            "Phase breakdown under faults: mean time per committed txn by phase (recovery {recovery_s}s, think {think}s)"
+        ),
+        x_label: "crash rate (per node per s)".into(),
+        y_label: "mean seconds in phase per commit".into(),
+        xs: crash_rates.to_vec(),
+        series,
+    }
+}
+
+/// The single run exported by `repro e26 --trace <path>`: OPT at the top
+/// E25 crash rate — the collapse the phase breakdown explains — with full
+/// event tracing for Chrome-trace / JSONL export.
+pub fn e26_trace_config(profile: &Profile) -> Config {
+    let mut c = e25_config(
+        Algorithm::Optimistic,
+        1.0,
+        *E25_CRASH_RATES.last().expect("non-empty"),
+        SimDuration::from_millis(E25_RECOVERY_MS),
+    );
+    profile.apply(&mut c);
+    c
 }
 
 /// E24: strict-FIFO vs barging lock grants for 2PL — the one lock-manager

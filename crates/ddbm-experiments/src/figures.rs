@@ -500,7 +500,7 @@ pub fn all_figures(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
     ]
 }
 
-/// Look up a figure builder by id (`fig02`…`fig17`, `e17`…`e25`).
+/// Look up a figure builder by id (`fig02`…`fig17`, `e17`…`e26`).
 pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureResult>> {
     let one = |f: FigureResult| Some(vec![f]);
     match id {
@@ -543,6 +543,12 @@ pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureR
             let (a, b) = crate::extensions::e24_barging(runner, profile);
             Some(vec![a, b])
         }
+        "e26" => Some(vec![crate::extensions::e26_phase_breakdown(
+            runner,
+            profile,
+            &crate::extensions::E25_CRASH_RATES,
+            denet::SimDuration::from_millis(crate::extensions::E25_RECOVERY_MS),
+        )]),
         "e25" => {
             let (a, b) = crate::extensions::e25_fault_study(
                 runner,
@@ -557,9 +563,9 @@ pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureR
 }
 
 /// All valid figure ids accepted by [`by_id`]: the paper's artifacts plus
-/// this reproduction's extension experiments (e20–e25).
-pub const FIGURE_IDS: [&str; 25] = [
+/// this reproduction's extension experiments (e20–e26).
+pub const FIGURE_IDS: [&str; 26] = [
     "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "e17", "e18", "e19", "e20", "e21", "e22",
-    "e23", "e24", "e25",
+    "e23", "e24", "e25", "e26",
 ];

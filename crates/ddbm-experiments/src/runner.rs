@@ -31,9 +31,52 @@ enum Slot {
     InFlight(Arc<Flight>),
 }
 
+/// Lifecycle of an in-flight run. `Poisoned` means the leader panicked
+/// before publishing: followers must stop waiting and elect a new leader.
+enum FlightState {
+    Pending,
+    Done(Box<RunReport>),
+    Poisoned,
+}
+
 struct Flight {
-    result: Mutex<Option<RunReport>>,
+    state: Mutex<FlightState>,
     ready: Condvar,
+}
+
+/// Where verbose progress lines go: the process stderr, or an in-memory
+/// capture used by tests to assert the emitted counts are monotone.
+enum ProgressSink {
+    Stderr,
+    #[allow(dead_code)]
+    Capture(Vec<usize>),
+}
+
+/// Leader unwind guard: if the simulation panics before the result is
+/// published, mark the flight poisoned, evict the dead in-flight slot so a
+/// later caller can re-run, and wake every follower. Disarmed with
+/// [`std::mem::forget`] on the success path.
+struct FlightGuard<'a> {
+    runner: &'a Runner,
+    key: Key,
+    flight: &'a Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        // Evict first, then poison: a follower that observes `Poisoned` and
+        // retries must not find the dead slot still installed.
+        {
+            let mut cache = self.runner.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(Slot::InFlight(f)) = cache.get(&self.key) {
+                if Arc::ptr_eq(f, self.flight) {
+                    cache.remove(&self.key);
+                }
+            }
+        }
+        *self.flight.state.lock().unwrap_or_else(|e| e.into_inner()) = FlightState::Poisoned;
+        self.flight.ready.notify_all();
+    }
 }
 
 /// See module docs.
@@ -41,6 +84,9 @@ pub struct Runner {
     cache: Mutex<HashMap<Key, Slot>>,
     threads: usize,
     completed: AtomicUsize,
+    /// Counter increment and line emission happen under this lock, so the
+    /// printed counts are strictly increasing even under thread races.
+    progress: Mutex<ProgressSink>,
     /// Print a short progress line per completed simulation.
     pub verbose: bool,
 }
@@ -59,6 +105,7 @@ impl Runner {
             cache: Mutex::new(HashMap::new()),
             threads,
             completed: AtomicUsize::new(0),
+            progress: Mutex::new(ProgressSink::Stderr),
             verbose: false,
         }
     }
@@ -70,55 +117,103 @@ impl Runner {
     }
 
     /// Run one configuration (memoized, single-flight).
+    ///
+    /// If a leader panics mid-run (e.g. on an invalid configuration), its
+    /// unwind guard poisons the flight and wakes all followers; each
+    /// follower then retries, becoming the new leader, so the panic
+    /// propagates to every caller instead of deadlocking them.
     pub fn run(&self, config: &Config) -> RunReport {
         let key = Self::key(config);
-        let flight = {
-            let mut cache = self.cache.lock().unwrap();
-            match cache.get(&key) {
-                Some(Slot::Done(hit)) => return (**hit).clone(),
-                Some(Slot::InFlight(flight)) => {
-                    // Another thread is already running this config: wait for
-                    // its result instead of duplicating the simulation.
-                    let flight = Arc::clone(flight);
-                    drop(cache);
-                    let mut result = flight.result.lock().unwrap();
-                    while result.is_none() {
-                        result = flight.ready.wait(result).unwrap();
+        loop {
+            let flight = {
+                let mut cache = self.cache.lock().unwrap();
+                match cache.get(&key) {
+                    Some(Slot::Done(hit)) => return (**hit).clone(),
+                    Some(Slot::InFlight(flight)) => {
+                        // Another thread is already running this config: wait
+                        // for its result instead of duplicating the simulation.
+                        let flight = Arc::clone(flight);
+                        drop(cache);
+                        let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+                        loop {
+                            match &*state {
+                                FlightState::Pending => {
+                                    state =
+                                        flight.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                                }
+                                FlightState::Done(report) => return (**report).clone(),
+                                FlightState::Poisoned => break,
+                            }
+                        }
+                        // Leader died; its slot has been evicted. Retry.
+                        continue;
                     }
-                    return result.clone().expect("flight completed");
+                    None => {
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            ready: Condvar::new(),
+                        });
+                        cache.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                        flight
+                    }
                 }
-                None => {
-                    let flight = Arc::new(Flight {
-                        result: Mutex::new(None),
-                        ready: Condvar::new(),
-                    });
-                    cache.insert(key, Slot::InFlight(Arc::clone(&flight)));
-                    flight
-                }
-            }
-        };
-        let report = run_config(config.clone()).expect("config validated by caller");
+            };
+            let guard = FlightGuard {
+                runner: self,
+                key,
+                flight: &flight,
+            };
+            let report = run_config(config.clone()).expect("config validated by caller");
+            self.note_progress(config, &report);
+            *self
+                .cache
+                .lock()
+                .unwrap()
+                .get_mut(&key)
+                .expect("slot exists") = Slot::Done(Box::new(report.clone()));
+            *flight.state.lock().unwrap() = FlightState::Done(Box::new(report.clone()));
+            flight.ready.notify_all();
+            // Success: the guard must not poison the published flight.
+            std::mem::forget(guard);
+            return report;
+        }
+    }
+
+    /// Bump the completed counter and emit the verbose progress line as one
+    /// atomic step, so concurrent completions can never print duplicate or
+    /// out-of-order counts.
+    fn note_progress(&self, config: &Config, report: &RunReport) {
+        let mut sink = self.progress.lock().unwrap();
         let n = self.completed.fetch_add(1, Ordering::Relaxed) + 1;
         if self.verbose {
-            eprintln!(
-                "  [{n}] {} n={} deg={} think={:>5.1}s  tps={:>7.2} rt={:>7.3}s",
-                config.algorithm,
-                config.system.num_proc_nodes,
-                config.database.declustering_degree,
-                config.workload.think_time_secs,
-                report.throughput,
-                report.mean_response_time,
-            );
+            match &mut *sink {
+                ProgressSink::Stderr => eprintln!(
+                    "  [{n}] {} n={} deg={} think={:>5.1}s  tps={:>7.2} rt={:>7.3}s",
+                    config.algorithm,
+                    config.system.num_proc_nodes,
+                    config.database.declustering_degree,
+                    config.workload.think_time_secs,
+                    report.throughput,
+                    report.mean_response_time,
+                ),
+                ProgressSink::Capture(lines) => lines.push(n),
+            }
         }
-        *self
-            .cache
-            .lock()
-            .unwrap()
-            .get_mut(&key)
-            .expect("slot exists") = Slot::Done(Box::new(report.clone()));
-        *flight.result.lock().unwrap() = Some(report.clone());
-        flight.ready.notify_all();
-        report
+    }
+
+    /// Redirect verbose progress into an in-memory capture (tests only).
+    #[cfg(test)]
+    fn capture_progress(&self) {
+        *self.progress.lock().unwrap() = ProgressSink::Capture(Vec::new());
+    }
+
+    /// The captured progress counts, in emission order (tests only).
+    #[cfg(test)]
+    fn captured_progress(&self) -> Vec<usize> {
+        match &*self.progress.lock().unwrap() {
+            ProgressSink::Capture(lines) => lines.clone(),
+            ProgressSink::Stderr => Vec::new(),
+        }
     }
 
     /// Run many configurations in parallel (memoized); results come back in
@@ -302,5 +397,58 @@ mod tests {
         let all = r.run_all(&batch);
         assert_eq!(all.len(), 16);
         assert_eq!(r.executed(), 1, "batch duplicates must hit the cache");
+    }
+
+    /// Regression test for the single-flight poison bug: a panicking leader
+    /// used to leave `Flight` forever pending, hanging every follower. Now
+    /// the unwind guard wakes followers, each retries as the new leader, and
+    /// the panic propagates to all callers.
+    #[test]
+    fn leader_panic_wakes_followers_and_propagates() {
+        let r = Runner::new(4);
+        let mut bad = quick_config(1.0);
+        // Invalid: zero disks fails validation, so the leader's
+        // `expect("config validated by caller")` panics mid-flight.
+        bad.system.num_disks = 0;
+        let barrier = std::sync::Barrier::new(4);
+        let outcomes: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.run(&bad)))
+                            .is_err()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            outcomes.iter().all(|panicked| *panicked),
+            "every caller must observe the panic; none may hang or get a report"
+        );
+        assert_eq!(r.executed(), 0, "no simulation completed");
+        // The runner is not wedged: a valid config still runs and caches.
+        let report = r.run(&quick_config(1.0));
+        assert!(report.commits > 0);
+        assert_eq!(r.executed(), 1);
+    }
+
+    /// Regression test for duplicate/out-of-order verbose progress counts:
+    /// the counter increment and the line emission now happen under one
+    /// lock, so captured counts are exactly 1, 2, 3, ... regardless of
+    /// thread interleaving.
+    #[test]
+    fn progress_counts_are_strictly_monotonic() {
+        let mut r = Runner::new(8);
+        r.verbose = true;
+        r.capture_progress();
+        let configs: Vec<Config> = (0..12).map(|i| quick_config(0.25 * i as f64)).collect();
+        r.run_all(&configs);
+        let counts = r.captured_progress();
+        assert_eq!(counts.len(), 12);
+        for (i, n) in counts.iter().enumerate() {
+            assert_eq!(*n, i + 1, "emitted counts must be gapless and in order");
+        }
     }
 }

@@ -78,7 +78,7 @@ fn by_id_covers_every_figure() {
     // Only check the mapping exists and rejects junk — reuse cached runs for
     // one real id.
     assert!(figures::by_id(&runner, &profile, "nonsense").is_none());
-    assert_eq!(figures::FIGURE_IDS.len(), 25);
+    assert_eq!(figures::FIGURE_IDS.len(), 26);
     let f = figures::by_id(&runner, &profile, "fig12").unwrap();
     assert_eq!(f[0].id, "fig12");
 }
@@ -88,7 +88,7 @@ fn extension_experiments_build() {
     let runner = Runner::new(0);
     let profile = Profile::test();
     let figs = ddbm_experiments::extensions::all_extensions(&runner, &profile);
-    assert_eq!(figs.len(), 10);
+    assert_eq!(figs.len(), 11);
     for fig in &figs {
         assert!(!fig.series.is_empty(), "{} empty", fig.id);
         for s in &fig.series {
@@ -107,6 +107,31 @@ fn extension_experiments_build() {
     assert!(
         total_at_top > 0.0,
         "the top crash rate must induce fault aborts somewhere"
+    );
+
+    // e26: the phase means for each (algorithm, crash rate) must sum to a
+    // positive response time, and commit/prepare must stay small relative
+    // to the whole at the top crash rate.
+    let e26 = figs.iter().find(|f| f.id == "e26-phases").unwrap();
+    assert_eq!(e26.series.len(), 12, "2 algorithms x 6 phases");
+    let last = e26.xs.len() - 1;
+    for algo in ["2PL", "OPT"] {
+        let total: f64 = e26
+            .series
+            .iter()
+            .filter(|s| s.name.starts_with(algo))
+            .map(|s| s.ys[last])
+            .sum();
+        assert!(total > 0.0, "{algo}: phase means must sum positive");
+    }
+    let opt_lock_wait = e26
+        .series
+        .iter()
+        .find(|s| s.name == "OPT lock_wait")
+        .unwrap();
+    assert!(
+        opt_lock_wait.ys.iter().all(|y| *y == 0.0),
+        "OPT never blocks on locks"
     );
 
     // e20: sequential must not be faster than parallel at the light point.

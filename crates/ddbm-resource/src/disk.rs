@@ -85,6 +85,14 @@ impl<T> Disk<T> {
         }
     }
 
+    /// True while a request is in service. Queued-but-unstarted requests
+    /// enter service immediately on submit, so an idle disk has empty
+    /// queues too; this is the signal the trace resource timeline records.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        self.busy.is_busy()
+    }
+
     /// Fault injection: withhold all completions until `until`. The
     /// in-service request (if any) is pushed past the stall; queued requests
     /// start no earlier than `until`.
@@ -236,6 +244,12 @@ impl<T> DiskArray<T> {
     /// The earliest in-service completion across all disks.
     pub fn next_completion(&self) -> Option<SimTime> {
         self.disks.iter().filter_map(Disk::next_completion).min()
+    }
+
+    /// True while any disk in the array has a request in service.
+    #[inline]
+    pub fn any_busy(&self) -> bool {
+        self.disks.iter().any(Disk::is_busy)
     }
 
     /// `cancel_queued_where`.

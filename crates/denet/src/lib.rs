@@ -21,9 +21,11 @@ pub mod fxhash;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use calendar::{EventCalendar, EventToken};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
-pub use stats::{BatchMeans, BusyTracker, RateCounter, Tally, TimeWeighted};
+pub use stats::{BatchMeans, BusyTracker, LogHistogram, RateCounter, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
+pub use trace::TraceRing;

@@ -1,6 +1,8 @@
 //! Property-based tests for the simulation engine.
 
-use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime, Tally, TimeWeighted};
+use denet::{
+    EventCalendar, EventToken, LogHistogram, SimDuration, SimRng, SimTime, Tally, TimeWeighted,
+};
 use proptest::prelude::*;
 
 /// One step of a calendar/reference interleaving. Delays are relative to the
@@ -218,5 +220,94 @@ proptest! {
                 break;
             }
         }
+    }
+}
+
+/// Value sets spanning the histogram's exact region (below `2^sub_bits`)
+/// and several orders of magnitude of the logarithmic region.
+fn hist_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => 0u64..64,
+            3 => 0u64..10_000,
+            2 => 0u64..1_000_000_000,
+            1 => 0u64..(u64::MAX / 2),
+        ],
+        1..300,
+    )
+}
+
+/// Ceiling-rank order statistic over exact values — the definition the
+/// histogram's `quantile` approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// For any value set and any bucket resolution, the histogram quantile
+    /// must land in the same bucket as the exact sorted-vector order
+    /// statistic, and within the documented relative error bound of
+    /// `2^-(sub_bits+1)`.
+    #[test]
+    fn histogram_quantiles_match_sorted_reference(
+        values in hist_values(),
+        sub_bits in 0u32..8,
+        q_extra in 0.01f64..1.0,
+    ) {
+        let mut h = LogHistogram::new(sub_bits);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), Some(sorted[0]));
+        prop_assert_eq!(h.max(), sorted.last().copied());
+        for q in [q_extra, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.quantile(q).expect("histogram is non-empty");
+            prop_assert_eq!(
+                h.bucket_index(got),
+                h.bucket_index(exact),
+                "q={}: representative {} not in the exact statistic's bucket ({})",
+                q, got, exact
+            );
+            let tol = exact as f64 / 2f64.powi(sub_bits as i32 + 1) + 1.0;
+            prop_assert!(
+                (got as f64 - exact as f64).abs() <= tol,
+                "q={}: {} vs exact {} exceeds relative bound {}",
+                q, got, exact, tol
+            );
+        }
+    }
+
+    /// Merging two histograms must be indistinguishable from recording both
+    /// value sets into one.
+    #[test]
+    fn histogram_merge_equals_combined_recording(
+        a in hist_values(),
+        b in hist_values(),
+        sub_bits in 0u32..8,
+    ) {
+        let mut ha = LogHistogram::new(sub_bits);
+        let mut hb = LogHistogram::new(sub_bits);
+        let mut combined = LogHistogram::new(sub_bits);
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), combined.count());
+        prop_assert_eq!(ha.min(), combined.min());
+        prop_assert_eq!(ha.max(), combined.max());
+        prop_assert_eq!(ha.p50(), combined.p50());
+        prop_assert_eq!(ha.p95(), combined.p95());
+        prop_assert_eq!(ha.p99(), combined.p99());
     }
 }
