@@ -16,9 +16,17 @@
 //!                    Chrome-trace JSON to PATH plus a JSONL event stream to
 //!                    PATH.jsonl
 //!   FIGURE      any of fig02..fig17, e17..e26 (default: all)
+//!
+//! repro verify [--seeds N,N,...] [--replay FILE ...]
+//!
+//!   Runs the ddbm-oracle verification grid (6 algorithms × 4 seeds of
+//!   contended runs through the protocol invariant checkers) and exits
+//!   nonzero on any violation. With --replay, instead replays recorded
+//!   .repro.json files and checks that each still reproduces its frozen
+//!   violations deterministically.
 //! ```
 
-use ddbm_experiments::{chart, extensions, figures, FigureResult, Profile, Runner};
+use ddbm_experiments::{chart, extensions, figures, oracle, FigureResult, Profile, Runner};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -92,7 +100,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--full|--quick|--smoke] [--threads N] \
                      [--out DIR] [--charts] [--verbose] \
                      [--crash-rate R ...] [--recovery-ms N] [--trace PATH] \
-                     [FIGURE ...]\nfigures: {}",
+                     [FIGURE ...]\n       repro verify [--seeds N,N,...] [--replay FILE ...]\n\
+                     figures: {}",
                     figures::FIGURE_IDS.join(" ")
                 );
                 std::process::exit(0);
@@ -173,7 +182,124 @@ fn write_trace(path: &PathBuf, profile: &Profile) -> std::io::Result<()> {
     Ok(())
 }
 
+/// `repro verify`: run the oracle grid, or replay frozen repro files.
+/// Returns the process exit code.
+fn verify_main(argv: Vec<String>) -> i32 {
+    let mut seeds: Vec<u64> = oracle::ORACLE_SEEDS.to_vec();
+    let mut replays: Vec<PathBuf> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("error: --seeds needs a comma-separated list");
+                        return 2;
+                    }
+                };
+                match v
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<u64>, _>>()
+                {
+                    Ok(s) if !s.is_empty() => seeds = s,
+                    _ => {
+                        eprintln!("error: bad seed list {v:?}");
+                        return 2;
+                    }
+                }
+            }
+            "--replay" => match it.next() {
+                Some(v) => replays.push(PathBuf::from(v)),
+                None => {
+                    eprintln!("error: --replay needs a file path");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: repro verify [--seeds N,N,...] [--replay FILE ...]");
+                return 0;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try repro verify --help)");
+                return 2;
+            }
+        }
+    }
+
+    if !replays.is_empty() {
+        let mut failed = false;
+        for path in &replays {
+            let repro = match ddbm_oracle::ReproFile::load(path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: could not load {}: {e}", path.display());
+                    failed = true;
+                    continue;
+                }
+            };
+            match repro.verify() {
+                Ok(true) => println!(
+                    "REPRODUCED  {} ({} on seed {}, {} frozen violation(s))",
+                    path.display(),
+                    repro.config.algorithm,
+                    repro.config.control.seed,
+                    repro.violations.len(),
+                ),
+                Ok(false) => {
+                    println!("DIVERGED    {}", path.display());
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("error: {} does not replay: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+        return i32::from(failed);
+    }
+
+    let t0 = Instant::now();
+    eprintln!(
+        "oracle grid: {} algorithms × {} seeds of contended runs…",
+        oracle::ORACLE_GRID.len(),
+        seeds.len(),
+    );
+    let cells = oracle::verify_grid(&seeds);
+    let mut failed = false;
+    for cell in &cells {
+        println!(
+            "{:7} {:6} seed {:6}  {:>7} events  {} violation(s)",
+            if cell.pass() { "PASS" } else { "FAIL" },
+            cell.algorithm.to_string(),
+            cell.seed,
+            cell.events,
+            cell.violations,
+        );
+        if !cell.pass() {
+            failed = true;
+            if cell.overflow > 0 {
+                eprintln!("  witness overflow: {} events dropped", cell.overflow);
+            }
+            for line in cell.detail.lines() {
+                eprintln!("  {line}");
+            }
+        }
+    }
+    eprintln!(
+        "oracle grid: {}/{} cells clean in {:.1?}",
+        cells.iter().filter(|c| c.pass()).count(),
+        cells.len(),
+        t0.elapsed(),
+    );
+    i32::from(failed)
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("verify") {
+        std::process::exit(verify_main(std::env::args().skip(2).collect()));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -21,6 +21,7 @@ pub mod locktable;
 pub mod manager;
 pub mod nodc;
 pub mod opt;
+pub mod rules;
 pub mod twopl;
 pub mod waitdie;
 pub mod waitsfor;
@@ -29,4 +30,5 @@ pub mod woundwait;
 pub use common::{AccessReply, AccessResponse, LockMode, ReleaseResponse, Ts, TxnMeta};
 pub use locktable::{LockOutcome, LockTable};
 pub use manager::{make_manager, make_manager_with, CcManager, LockStats};
+pub use rules::{rules_of, CcRules};
 pub use waitsfor::{find_cycle, resolve_deadlocks};

@@ -354,6 +354,29 @@ impl LockTable {
         }
     }
 
+    /// The queued-page index: pages whose wait queue is currently
+    /// non-empty, in ascending order. This is the incrementally maintained
+    /// index that [`waits_for_edges`](LockTable::waits_for_edges) walks;
+    /// [`scan_queued_pages`](LockTable::scan_queued_pages) recomputes the
+    /// same set naively so tests can check the index never drifts.
+    pub fn queued_pages(&self) -> Vec<PageId> {
+        self.queued.iter().copied().collect()
+    }
+
+    /// Recompute the queued-page set by scanning every page entry — the
+    /// O(pages) reference implementation of
+    /// [`queued_pages`](LockTable::queued_pages), for consistency tests.
+    pub fn scan_queued_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self
+            .pages
+            .iter()
+            .filter(|(_, lock)| !lock.queue.is_empty())
+            .map(|(page, _)| *page)
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
     /// The queued requests on `page` in queue order.
     pub fn waiters(&self, page: PageId) -> Vec<(TxnId, LockMode)> {
         self.pages

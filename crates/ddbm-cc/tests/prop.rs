@@ -32,6 +32,7 @@ fn meta(id: u64) -> TxnMeta {
 enum LtOp {
     Request { txn: u64, page: u64, write: bool },
     Release { txn: u64 },
+    Cancel { txn: u64, page: u64 },
 }
 
 fn lt_op() -> impl Strategy<Value = LtOp> {
@@ -42,7 +43,57 @@ fn lt_op() -> impl Strategy<Value = LtOp> {
             write
         }),
         1 => (0u64..12).prop_map(|txn| LtOp::Release { txn }),
+        1 => (0u64..12, 0u64..8).prop_map(|(txn, page)| LtOp::Cancel { txn, page }),
     ]
+}
+
+/// Apply one [`LtOp`] to a table.
+fn lt_apply(lt: &mut LockTable, op: &LtOp) {
+    match *op {
+        LtOp::Request {
+            txn,
+            page: p,
+            write,
+        } => {
+            let mode = if write {
+                LockMode::Write
+            } else {
+                LockMode::Read
+            };
+            lt.request(TxnId(txn), page(p), mode);
+        }
+        LtOp::Release { txn } => {
+            lt.release_all(TxnId(txn));
+        }
+        LtOp::Cancel { txn, page: p } => {
+            lt.cancel_wait(TxnId(txn), page(p));
+        }
+    }
+}
+
+/// Reference cycle detector: a directed graph has a cycle iff some node can
+/// reach itself through at least one edge. Plain per-node DFS, no sharing.
+fn brute_force_has_cycle(edges: &[(TxnId, TxnId)]) -> bool {
+    let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    let nodes: HashSet<TxnId> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    nodes.iter().any(|&start| {
+        let mut stack = vec![start];
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(u) = stack.pop() {
+            for &v in adj.get(&u).into_iter().flatten() {
+                if v == start {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    })
 }
 
 proptest! {
@@ -55,16 +106,10 @@ proptest! {
         let mut lt = LockTable::new();
         let mut live_pages: HashSet<u64> = HashSet::new();
         for op in ops {
-            match op {
-                LtOp::Request { txn, page: p, write } => {
-                    let mode = if write { LockMode::Write } else { LockMode::Read };
-                    lt.request(TxnId(txn), page(p), mode);
-                    live_pages.insert(p);
-                }
-                LtOp::Release { txn } => {
-                    lt.release_all(TxnId(txn));
-                }
+            if let LtOp::Request { page: p, .. } = op {
+                live_pages.insert(p);
             }
+            lt_apply(&mut lt, &op);
             for &p in &live_pages {
                 let holders = lt.holders(page(p));
                 let writers = holders.iter().filter(|(_, m)| *m == LockMode::Write).count();
@@ -86,21 +131,77 @@ proptest! {
     fn lock_table_drains_clean(ops in prop::collection::vec(lt_op(), 1..200)) {
         let mut lt = LockTable::new();
         for op in ops {
-            match op {
-                LtOp::Request { txn, page: p, write } => {
-                    let mode = if write { LockMode::Write } else { LockMode::Read };
-                    lt.request(TxnId(txn), page(p), mode);
-                }
-                LtOp::Release { txn } => {
-                    lt.release_all(TxnId(txn));
-                }
-            }
+            lt_apply(&mut lt, &op);
         }
         for txn in 0..12 {
             lt.release_all(TxnId(txn));
         }
         prop_assert_eq!(lt.active_pages(), 0, "table must be empty after all releases");
         prop_assert!(lt.waits_for_edges().is_empty());
+    }
+
+    /// Queued-page index equivalence: after every acquire/release/cancel,
+    /// the incrementally maintained index equals the naive full scan —
+    /// with and without barging.
+    #[test]
+    fn queued_page_index_matches_naive_scan(ops in prop::collection::vec(lt_op(), 1..250)) {
+        for barging in [false, true] {
+            let mut lt = if barging {
+                LockTable::with_barging()
+            } else {
+                LockTable::new()
+            };
+            for op in &ops {
+                lt_apply(&mut lt, op);
+                prop_assert_eq!(
+                    lt.queued_pages(),
+                    lt.scan_queued_pages(),
+                    "index drifted (barging={}) after {:?}",
+                    barging,
+                    op
+                );
+            }
+            // Draining everyone must empty the index too.
+            for txn in 0..12 {
+                lt.release_all(TxnId(txn));
+                prop_assert_eq!(lt.queued_pages(), lt.scan_queued_pages());
+            }
+            prop_assert!(lt.queued_pages().is_empty());
+        }
+    }
+
+    /// Cycle-detector differential: the CSR/Kahn `find_cycle` agrees with a
+    /// brute-force per-node reachability reference on random digraphs
+    /// (self-loops and parallel edges included), any cycle it reports is a
+    /// real cycle of the graph, and detection is deterministic.
+    #[test]
+    fn find_cycle_matches_brute_force(
+        raw in prop::collection::vec((0u64..12, 0u64..12), 0..50),
+    ) {
+        let edges: Vec<(TxnId, TxnId)> =
+            raw.into_iter().map(|(a, b)| (TxnId(a), TxnId(b))).collect();
+        let found = find_cycle(&edges);
+        prop_assert_eq!(
+            found.is_some(),
+            brute_force_has_cycle(&edges),
+            "detector disagrees with reference on {:?}",
+            edges
+        );
+        if let Some(cycle) = &found {
+            prop_assert!(!cycle.is_empty());
+            let edge_set: HashSet<(TxnId, TxnId)> = edges.iter().copied().collect();
+            for i in 0..cycle.len() {
+                let from = cycle[i];
+                let to = cycle[(i + 1) % cycle.len()];
+                prop_assert!(
+                    edge_set.contains(&(from, to)),
+                    "reported cycle edge {}->{} is not in the graph",
+                    from,
+                    to
+                );
+            }
+            prop_assert_eq!(&find_cycle(&edges).unwrap(), cycle, "detection must be deterministic");
+        }
     }
 
     /// Deadlock detector soundness and completeness on random graphs:

@@ -28,17 +28,32 @@ pub struct TraceConfig {
     /// records how many were lost).
     #[serde(default)]
     pub event_capacity: usize,
+    /// Record the protocol witness stream (CC grants/blocks/rejections,
+    /// wounds, certifications, releases, installs, phase transitions) for
+    /// the `ddbm-oracle` invariant checkers. Unlike `events`, the witness
+    /// log is lossless up to its cap: overflowing events are dropped from
+    /// the *end* and counted, never overwritten, so checkers always see a
+    /// contiguous prefix of the execution.
+    #[serde(default)]
+    pub witness: bool,
+    /// Witness-log capacity in events; `0` selects the default (2^22).
+    #[serde(default)]
+    pub witness_capacity: usize,
 }
 
 impl TraceConfig {
     /// Default ring capacity when [`TraceConfig::event_capacity`] is zero.
     pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 20;
 
+    /// Default witness-log capacity when [`TraceConfig::witness_capacity`]
+    /// is zero.
+    pub const DEFAULT_WITNESS_CAPACITY: usize = 1 << 22;
+
     /// True when any collection is enabled. The simulator hoists this into
     /// a single bool and gates every instrumentation hook on it, keeping
     /// the disabled path branch-only.
     pub fn any(&self) -> bool {
-        self.phase_stats || self.events
+        self.phase_stats || self.events || self.witness
     }
 
     /// The effective ring capacity.
@@ -50,12 +65,27 @@ impl TraceConfig {
         }
     }
 
+    /// The effective witness-log capacity.
+    pub fn effective_witness_capacity(&self) -> usize {
+        if self.witness_capacity == 0 {
+            Self::DEFAULT_WITNESS_CAPACITY
+        } else {
+            self.witness_capacity
+        }
+    }
+
     /// Check parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.event_capacity > (1 << 28) {
             return Err(format!(
                 "trace.event_capacity {} is unreasonably large (max 2^28)",
                 self.event_capacity
+            ));
+        }
+        if self.witness_capacity > (1 << 28) {
+            return Err(format!(
+                "trace.witness_capacity {} is unreasonably large (max 2^28)",
+                self.witness_capacity
             ));
         }
         Ok(())
@@ -69,6 +99,8 @@ impl Default for TraceConfig {
             phase_stats: false,
             events: false,
             event_capacity: 0,
+            witness: false,
+            witness_capacity: 0,
         }
     }
 }
@@ -95,6 +127,26 @@ mod tests {
         t.phase_stats = false;
         t.events = true;
         assert!(t.any());
+        t.events = false;
+        t.witness = true;
+        assert!(t.any());
+    }
+
+    #[test]
+    fn witness_capacity_override_and_bounds() {
+        let mut t = TraceConfig {
+            witness: true,
+            witness_capacity: 1024,
+            ..TraceConfig::default()
+        };
+        assert_eq!(t.effective_witness_capacity(), 1024);
+        t.witness_capacity = 0;
+        assert_eq!(
+            t.effective_witness_capacity(),
+            TraceConfig::DEFAULT_WITNESS_CAPACITY
+        );
+        t.witness_capacity = 1 << 29;
+        assert!(t.validate().is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! oracle for the whole simulator: locks held wrongly for even one event
 //! slot show up as a cycle. (BTO with the Thomas write rule and OPT admit
 //! histories that are view- but not conflict-serializable, so the checker is
-//! only asserted for the locking family.)
+//! only asserted for the locking family; the `ddbm-oracle` crate closes
+//! that gap with a polygraph-based *view*-serializability check over the
+//! witness stream, covering OPT, the Thomas rule, and the NO_DC baseline.)
 //!
 //! Operations of aborted runs are discarded — only work that survived into
 //! the commit counts.

@@ -35,6 +35,7 @@ pub mod simulator;
 pub mod store;
 pub mod trace;
 pub mod txn;
+pub mod witness;
 pub mod workload;
 
 pub use history::HistoryRecorder;
@@ -43,7 +44,11 @@ pub use metrics::{
     PhaseStats, RunReport,
 };
 pub use protocol::AbortCause;
-pub use simulator::{run_chaos, run_config, run_traced, run_with_history, Simulator};
+pub use simulator::{
+    run_chaos, run_config, run_oracle, run_traced, run_with_history, OracleRecording, Simulator,
+    TestHooks,
+};
 pub use trace::{PhaseSpan, TraceEvent, TraceLog, Tracer, TxnTrace};
-pub use txn::PhaseBucket;
+pub use txn::{PhaseBucket, TxnPhase};
+pub use witness::{WitnessEvent, WitnessReply, WitnessStream};
 pub use workload::{generate_template, Access, CohortSpec, TxnTemplate};

@@ -15,11 +15,12 @@ use crate::protocol::{AbortCause, CohortIdx, CpuJob, DiskJob, Event, Message, Ms
 use crate::store::TxnStore;
 use crate::trace::{TraceEvent, TraceLog, Tracer};
 use crate::txn::{TxnPhase, TxnRuntime};
+use crate::witness::{WitnessEvent, WitnessReply, WitnessStream};
 use crate::workload::{generate_template, TxnTemplate};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
 use ddbm_config::{Algorithm, Config, ConfigError, FaultPlan, NodeId, Placement, TxnId};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
-use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime};
+use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime, WitnessLog};
 use std::rc::Rc;
 
 struct NodeState {
@@ -52,6 +53,32 @@ struct NodeState {
     /// older epoch no longer exists on this node, so retransmitted protocol
     /// messages that refer to it must not touch the (rebuilt) CC manager.
     epoch: u64,
+}
+
+/// Deliberate, test-only protocol defects, injectable through
+/// [`run_oracle`] so the `ddbm-oracle` invariant checkers can be validated
+/// against a simulator that is known to be broken. All hooks default to
+/// off; no production entry point sets them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TestHooks {
+    /// Release a cohort's locks the moment its last access completes,
+    /// instead of holding them through the commit protocol — the classic
+    /// non-strict early release. The 2PL strictness checker must catch it.
+    #[serde(default)]
+    pub early_lock_release: bool,
+}
+
+impl TestHooks {
+    /// True when any hook is enabled.
+    pub fn any(&self) -> bool {
+        self.early_lock_release
+    }
+}
+
+/// A fixed transaction script for oracle replay (see [`run_oracle`]).
+struct ScriptedWorkload {
+    templates: Vec<TxnTemplate>,
+    next: usize,
 }
 
 /// State of the rotating global deadlock detector (2PL only).
@@ -105,6 +132,19 @@ pub struct Simulator {
     trace_phases: bool,
     /// The event recorder, present only when `config.trace.events` is on.
     tracer: Option<Box<Tracer>>,
+    /// The protocol witness log, present only when `config.trace.witness`
+    /// is on (the `ddbm-oracle` checkers replay it). Emission is branch-only
+    /// when absent, exactly like `tracer`.
+    witness: Option<Box<WitnessLog<WitnessEvent>>>,
+    /// Test-only failure hooks (see [`TestHooks`]); all-off in normal runs.
+    hooks: TestHooks,
+    /// Oracle replay: when set, terminals submit these templates in order
+    /// instead of drawing fresh ones from the workload stream, and stop
+    /// admitting once the script is exhausted.
+    script: Option<ScriptedWorkload>,
+    /// Oracle capture: when set, every generated template is recorded in
+    /// submission order so a failing workload can be replayed and shrunk.
+    template_log: Option<Vec<TxnTemplate>>,
     /// Chaos mode: after the measurement target is reached, keep the event
     /// loop running but stop admitting new transactions, so every live
     /// transaction can run to commit (the liveness check).
@@ -146,6 +186,10 @@ impl Simulator {
                 config.system.num_nodes(),
             ))
         });
+        let witness = config
+            .trace
+            .witness
+            .then(|| Box::new(WitnessLog::new(config.trace.effective_witness_capacity())));
         let mut metrics = MetricsCollector::new();
         if trace_phases {
             metrics.phases = Some(Box::new(PhaseCollector::new()));
@@ -174,6 +218,10 @@ impl Simulator {
             faults_enabled,
             trace_phases,
             tracer,
+            witness,
+            hooks: TestHooks::default(),
+            script: None,
+            template_log: None,
             draining: false,
             history: config.control.record_history.then(HistoryRecorder::new),
             metrics,
@@ -457,6 +505,9 @@ impl Simulator {
         st.disks.clear_all(now);
         st.cc = make_manager_with(self.config.algorithm, self.config.system.lock_barging);
         st.buffer = LruPool::new(self.config.system.buffer_pages as usize);
+        if let Some(w) = &mut self.witness {
+            w.push(now, WitnessEvent::NodeCrash { node });
+        }
         self.metrics.faults.crashes += 1;
         self.resched_cpu(now, node);
         self.resched_disks(now, node);
@@ -689,12 +740,34 @@ impl Simulator {
         if self.draining {
             return; // chaos epilogue: no new admissions, just finish the rest
         }
+        let template: TxnTemplate = if let Some(script) = &mut self.script {
+            // Oracle replay: fixed templates in submission order; once the
+            // script runs dry the terminal simply stops submitting.
+            let Some(t) = script.templates.get(script.next) else {
+                return;
+            };
+            script.next += 1;
+            t.clone()
+        } else {
+            generate_template(&self.config, &self.placement, &mut self.rng_work, terminal)
+        };
+        if let Some(log) = &mut self.template_log {
+            log.push(template.clone());
+        }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let template: TxnTemplate =
-            generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
         let txn = TxnRuntime::new(id, terminal, template, now);
         self.txns.insert(txn);
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
+                    txn: id,
+                    run: 1,
+                    phase: TxnPhase::Executing,
+                },
+            );
+        }
         if let Some(tr) = &mut self.tracer {
             tr.push(
                 now,
@@ -725,6 +798,16 @@ impl Simulator {
         }
         txn.begin_run(now);
         let run = txn.run;
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Executing,
+                },
+            );
+        }
         if let Some(tr) = &mut self.tracer {
             tr.push(
                 now,
@@ -811,6 +894,26 @@ impl Simulator {
             if let Some(t) = self.txns.get_mut(id) {
                 t.cohorts[cohort].done = true;
             }
+            if self.hooks.early_lock_release {
+                // Test-only defect: a broken lock manager that frees the
+                // cohort's locks at work-completion instead of holding them
+                // through commit. The witness records the release honestly,
+                // so the strictness checker sees a commit-release while the
+                // coordinator is still Executing.
+                if let Some(w) = &mut self.witness {
+                    w.push(
+                        now,
+                        WitnessEvent::Release {
+                            txn: id,
+                            run,
+                            node,
+                            commit: true,
+                        },
+                    );
+                }
+                let rel = self.nodes[node.0].cc.commit(id);
+                self.apply_release(now, node, rel, None);
+            }
             self.send(
                 now,
                 node,
@@ -860,6 +963,26 @@ impl Simulator {
             .request_access(&meta, acc.page, acc.write);
         // Move the side effects out instead of cloning the grant/reject lists.
         let side = resp.side_effects;
+        if let Some(w) = &mut self.witness {
+            let reply = match resp.reply {
+                AccessReply::Granted => WitnessReply::Granted,
+                AccessReply::Blocked => WitnessReply::Blocked,
+                AccessReply::Rejected => WitnessReply::Rejected,
+            };
+            w.push(
+                now,
+                WitnessEvent::Access {
+                    txn: id,
+                    run,
+                    node,
+                    page: acc.page,
+                    write: acc.write,
+                    reply,
+                    initial_ts: meta.initial_ts,
+                    run_ts: meta.run_ts,
+                },
+            );
+        }
         match resp.reply {
             AccessReply::Granted => self.access_granted(now, node, id, run, cohort, access),
             AccessReply::Blocked => {
@@ -908,7 +1031,7 @@ impl Simulator {
                 );
             }
         }
-        self.apply_release(now, node, side);
+        self.apply_release(now, node, side, Some((id, meta.initial_ts)));
     }
 
     /// A granted access proceeds: reads do a synchronous disk I/O, writes go
@@ -1005,8 +1128,16 @@ impl Simulator {
 
     /// Apply the consequences of a CC state change at `node`: resume granted
     /// waiters, abort rejected waiters, and forward wounds/victims to the
-    /// coordinator.
-    fn apply_release(&mut self, now: SimTime, node: NodeId, rel: ReleaseResponse) {
+    /// coordinator. `wound_ctx` names the access requester whose conflict
+    /// provoked the change, when there is one — it gives the witness stream
+    /// the aggressor side of each wound so the oracle can check WW priority.
+    fn apply_release(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        rel: ReleaseResponse,
+        wound_ctx: Option<(TxnId, Ts)>,
+    ) {
         for (id, _page) in rel.granted {
             let Some(txn) = self.txns.get_mut(id) else {
                 continue;
@@ -1028,9 +1159,26 @@ impl Simulator {
                 }
             }
             let access = txn.cohorts[cohort].next_access;
+            if self.witness.is_some() {
+                if let Some(acc) = txn.template.cohorts[cohort].accesses.get(access) {
+                    let meta = txn.meta();
+                    let ev = WitnessEvent::Grant {
+                        txn: id,
+                        run,
+                        node,
+                        page: acc.page,
+                        write: acc.write,
+                        initial_ts: meta.initial_ts,
+                        run_ts: meta.run_ts,
+                    };
+                    if let Some(w) = &mut self.witness {
+                        w.push(now, ev);
+                    }
+                }
+            }
             self.access_granted(now, node, id, run, cohort, access);
         }
-        for (id, _page) in rel.rejected {
+        for (id, page) in rel.rejected {
             let Some(txn) = self.txns.get_mut(id) else {
                 continue;
             };
@@ -1050,6 +1198,17 @@ impl Simulator {
                     tr.push(now, TraceEvent::LockWaitEnd { txn: id, node });
                 }
             }
+            if let Some(w) = &mut self.witness {
+                w.push(
+                    now,
+                    WitnessEvent::Reject {
+                        txn: id,
+                        run,
+                        node,
+                        page,
+                    },
+                );
+            }
             self.send(
                 now,
                 node,
@@ -1066,6 +1225,19 @@ impl Simulator {
                 continue;
             };
             let run = txn.run;
+            if self.witness.is_some() {
+                let victim_initial_ts = txn.meta().initial_ts;
+                let ev = WitnessEvent::Wound {
+                    victim: id,
+                    victim_initial_ts,
+                    requester: wound_ctx.map(|(r, _)| r),
+                    requester_initial_ts: wound_ctx.map(|(_, ts)| ts),
+                    node,
+                };
+                if let Some(w) = &mut self.witness {
+                    w.push(now, ev);
+                }
+            }
             self.send(
                 now,
                 node,
@@ -1142,7 +1314,21 @@ impl Simulator {
                     false
                 } else {
                     let meta = self.txns.get(txn).expect("checked above").meta();
-                    self.nodes[node.0].cc.certify(&meta, commit_ts)
+                    let ok = self.nodes[node.0].cc.certify(&meta, commit_ts);
+                    if let Some(w) = &mut self.witness {
+                        w.push(
+                            now,
+                            WitnessEvent::Certify {
+                                txn,
+                                run,
+                                node,
+                                commit_ts,
+                                run_ts: meta.run_ts,
+                                ok,
+                            },
+                        );
+                    }
+                    ok
                 };
                 self.send(
                     now,
@@ -1186,8 +1372,19 @@ impl Simulator {
                     if let Some(t) = self.txns.get_mut(txn) {
                         t.cohorts[cohort].settled = true;
                     }
+                    if let Some(w) = &mut self.witness {
+                        w.push(
+                            now,
+                            WitnessEvent::Release {
+                                txn,
+                                run,
+                                node,
+                                commit: false,
+                            },
+                        );
+                    }
                     let rel = self.nodes[node.0].cc.abort(txn);
-                    self.apply_release(now, node, rel);
+                    self.apply_release(now, node, rel, None);
                     self.touch_cpu(now, node);
                     self.nodes[node.0].cpu.cancel_shared_where(|job| match job {
                         CpuJob::CohortStartup { txn: t, run: r, .. }
@@ -1266,6 +1463,16 @@ impl Simulator {
                 },
             );
         }
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Preparing,
+                },
+            );
+        }
         for (cohort, spec) in template.cohorts.iter().enumerate() {
             self.send(
                 now,
@@ -1323,6 +1530,16 @@ impl Simulator {
             tr.push(
                 now,
                 TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: new_phase,
+                },
+            );
+        }
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
                     txn: id,
                     run,
                     phase: new_phase,
@@ -1401,8 +1618,36 @@ impl Simulator {
                     h.record(id, run, *p, true, now);
                 }
             }
+            if self.witness.is_some() {
+                let meta = txn.meta();
+                let commit_ts = txn.commit_ts.unwrap_or(Ts::ZERO);
+                if let Some(w) = &mut self.witness {
+                    for p in &pages {
+                        w.push(
+                            now,
+                            WitnessEvent::Install {
+                                txn: id,
+                                run,
+                                node,
+                                page: *p,
+                                run_ts: meta.run_ts,
+                                commit_ts,
+                            },
+                        );
+                    }
+                    w.push(
+                        now,
+                        WitnessEvent::Release {
+                            txn: id,
+                            run,
+                            node,
+                            commit: true,
+                        },
+                    );
+                }
+            }
             let rel = self.nodes[node.0].cc.commit(id);
-            self.apply_release(now, node, rel);
+            self.apply_release(now, node, rel, None);
             // Kick off the asynchronous write-back chain for this cohort's
             // updated pages: InstPerUpdate CPU per page, then the disk write.
             if !pages.is_empty() {
@@ -1419,8 +1664,19 @@ impl Simulator {
                 );
             }
         } else {
+            if let Some(w) = &mut self.witness {
+                w.push(
+                    now,
+                    WitnessEvent::Release {
+                        txn: id,
+                        run,
+                        node,
+                        commit: false,
+                    },
+                );
+            }
             let rel = self.nodes[node.0].cc.abort(id);
-            self.apply_release(now, node, rel);
+            self.apply_release(now, node, rel, None);
         }
         self.send(
             now,
@@ -1478,6 +1734,17 @@ impl Simulator {
         if let Some(tr) = &mut self.tracer {
             tr.push(now, TraceEvent::Committed { txn: id });
         }
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Committed {
+                    txn: id,
+                    run: txn.run,
+                    run_ts: txn.meta().run_ts,
+                    commit_ts: txn.commit_ts.unwrap_or(Ts::ZERO),
+                },
+            );
+        }
         let delay = self.think_delay();
         self.calendar.schedule_after(
             delay,
@@ -1519,6 +1786,16 @@ impl Simulator {
                 },
             );
         }
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::WaitingRestart,
+                },
+            );
+        }
         let delay = self.metrics.restart_delay(fallback);
         self.calendar
             .schedule_after(delay, Event::Restart { txn: id });
@@ -1543,6 +1820,16 @@ impl Simulator {
             tr.push(
                 now,
                 TraceEvent::Phase {
+                    txn: id,
+                    run,
+                    phase: TxnPhase::Aborting,
+                },
+            );
+        }
+        if let Some(w) = &mut self.witness {
+            w.push(
+                now,
+                WitnessEvent::Phase {
                     txn: id,
                     run,
                     phase: TxnPhase::Aborting,
@@ -2083,4 +2370,61 @@ pub fn run_chaos(mut config: Config) -> Result<(RunReport, HistoryRecorder), Con
     let report = sim.report(sim.calendar.now());
     let history = sim.history.take().expect("recording was enabled");
     Ok((report, history))
+}
+
+/// Everything the `ddbm-oracle` invariant checkers need from one
+/// instrumented run: the report, the protocol witness stream, and the
+/// workload that was actually executed (in submission order, ready for
+/// delta-debugging when a check fails).
+pub struct OracleRecording {
+    /// The run report.
+    pub report: RunReport,
+    /// The witnessed protocol events in emission order.
+    pub witness: WitnessStream,
+    /// Events dropped after the witness log filled; `0` means the stream is
+    /// a complete record of the run.
+    pub witness_overflow: u64,
+    /// Every template submitted, in submission order. For a scripted run
+    /// this is the consumed prefix of the script; otherwise it is the
+    /// generated workload.
+    pub templates: Vec<TxnTemplate>,
+    /// True when the run hit `max_sim_time` instead of reaching its
+    /// measurement target — the normal ending for scripted replays, whose
+    /// finite workload can never satisfy `measure_commits`.
+    pub truncated: bool,
+}
+
+/// Oracle entry point: run with witness recording forced on, optionally
+/// replaying a fixed transaction `script` (terminals consume its templates
+/// in order and stop admitting when it runs dry) and optionally injecting
+/// a deliberate [`TestHooks`] protocol defect.
+pub fn run_oracle(
+    mut config: Config,
+    script: Option<Vec<TxnTemplate>>,
+    hooks: TestHooks,
+) -> Result<OracleRecording, ConfigError> {
+    config.trace.witness = true;
+    let mut sim = Simulator::new(config)?;
+    sim.hooks = hooks;
+    sim.template_log = Some(Vec::new());
+    if let Some(templates) = script {
+        sim.script = Some(ScriptedWorkload { templates, next: 0 });
+    }
+    sim.seed();
+    sim.drive(false);
+    let report = sim.report(sim.calendar.now());
+    let truncated = sim.truncated;
+    let (witness, witness_overflow) = sim
+        .witness
+        .take()
+        .expect("witness recording was enabled")
+        .into_parts();
+    let templates = sim.template_log.take().unwrap_or_default();
+    Ok(OracleRecording {
+        report,
+        witness,
+        witness_overflow,
+        templates,
+        truncated,
+    })
 }

@@ -7,6 +7,8 @@
 //!   figures that share sweeps (e.g. Figures 2–7) reuse each other's runs.
 //! * [`figures`] holds one builder per paper artifact; [`figures::all_figures`]
 //!   regenerates everything.
+//! * [`oracle`] runs the `ddbm-oracle` verification grid backing the
+//!   `repro verify` CI gate.
 //!
 //! ```no_run
 //! use ddbm_experiments::{figures, Profile, Runner};
@@ -19,6 +21,7 @@
 pub mod chart;
 pub mod extensions;
 pub mod figures;
+pub mod oracle;
 pub mod profile;
 pub mod runner;
 pub mod table;

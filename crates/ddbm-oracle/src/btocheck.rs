@@ -1,0 +1,232 @@
+//! Differential checker for basic timestamp ordering.
+//!
+//! Replays the witness stream through an exact reference model of the BTO
+//! manager (`ddbm-cc::bto`): per-page read/write high-water marks, a
+//! timestamp-sorted pending-write set, and FIFO blocked reads. Every
+//! witnessed reply, wake-up grant, wake-up rejection, and install is
+//! compared against what the reference model says timestamp order demands;
+//! any divergence is a [`ViolationKind::TimestampOrder`].
+
+use crate::violation::{Violation, ViolationKind};
+use ddbm_cc::Ts;
+use ddbm_config::{NodeId, PageId, TxnId};
+use ddbm_core::{WitnessEvent, WitnessReply};
+use denet::{FxHashMap, SimTime};
+
+#[derive(Debug, Default)]
+struct PageModel {
+    rts: Ts,
+    wts: Ts,
+    /// Granted-but-uncommitted writes, sorted by timestamp.
+    pending: Vec<(Ts, TxnId)>,
+    /// Blocked reads in arrival order.
+    blocked: Vec<(Ts, TxnId)>,
+}
+
+impl PageModel {
+    fn min_pending_below(&self, ts: Ts) -> bool {
+        self.pending.first().is_some_and(|&(w, _)| w < ts)
+    }
+}
+
+/// See module docs.
+#[derive(Debug, Default)]
+pub struct BtoChecker {
+    nodes: FxHashMap<NodeId, FxHashMap<PageId, PageModel>>,
+}
+
+impl BtoChecker {
+    /// A fresh checker.
+    pub fn new() -> BtoChecker {
+        BtoChecker::default()
+    }
+
+    fn violation(at: SimTime, txn: TxnId, node: NodeId, page: PageId, detail: String) -> Violation {
+        Violation {
+            kind: ViolationKind::TimestampOrder,
+            at,
+            txn: Some(txn),
+            node: Some(node),
+            page: Some(page),
+            detail,
+        }
+    }
+
+    /// Feed one witnessed event through the reference model.
+    pub fn observe(&mut self, at: SimTime, ev: &WitnessEvent, out: &mut Vec<Violation>) {
+        match *ev {
+            WitnessEvent::Access {
+                txn,
+                node,
+                page,
+                write,
+                reply,
+                run_ts,
+                ..
+            } => {
+                let pm = self.nodes.entry(node).or_default().entry(page).or_default();
+                let ts = run_ts;
+                let expected = if write {
+                    if ts < pm.rts {
+                        WitnessReply::Rejected
+                    } else {
+                        // Granted either way: pending when it will install,
+                        // Thomas-skipped when older than the current version.
+                        WitnessReply::Granted
+                    }
+                } else if ts < pm.wts {
+                    WitnessReply::Rejected
+                } else if pm.min_pending_below(ts) {
+                    WitnessReply::Blocked
+                } else {
+                    WitnessReply::Granted
+                };
+                if reply != expected {
+                    out.push(Self::violation(
+                        at,
+                        txn,
+                        node,
+                        page,
+                        format!(
+                            "{} at ts {:?} answered {:?}, timestamp order demands {:?} \
+                             (rts {:?}, wts {:?})",
+                            if write { "write" } else { "read" },
+                            ts,
+                            reply,
+                            expected,
+                            pm.rts,
+                            pm.wts,
+                        ),
+                    ));
+                }
+                // Track the witnessed outcome so one divergence does not
+                // cascade into noise.
+                match reply {
+                    WitnessReply::Granted if write => {
+                        if ts >= pm.wts {
+                            let pos = pm.pending.partition_point(|&(w, _)| w < ts);
+                            pm.pending.insert(pos, (ts, txn));
+                        }
+                    }
+                    WitnessReply::Granted => {
+                        pm.rts = pm.rts.max(ts);
+                    }
+                    WitnessReply::Blocked => {
+                        pm.blocked.push((ts, txn));
+                    }
+                    WitnessReply::Rejected => {}
+                }
+            }
+            WitnessEvent::Grant {
+                txn,
+                node,
+                page,
+                write,
+                ..
+            } => {
+                let pm = self.nodes.entry(node).or_default().entry(page).or_default();
+                if write {
+                    out.push(Self::violation(
+                        at,
+                        txn,
+                        node,
+                        page,
+                        "write woken from a queue, but BTO writes never block".into(),
+                    ));
+                    return;
+                }
+                match pm.blocked.iter().position(|&(_, t)| t == txn) {
+                    None => out.push(Self::violation(
+                        at,
+                        txn,
+                        node,
+                        page,
+                        "read woken without a blocked request".into(),
+                    )),
+                    Some(pos) => {
+                        let (r_ts, _) = pm.blocked.remove(pos);
+                        if r_ts < pm.wts {
+                            out.push(Self::violation(
+                                at,
+                                txn,
+                                node,
+                                page,
+                                format!(
+                                    "read at ts {:?} granted though a newer version \
+                                     (wts {:?}) committed — it must be rejected",
+                                    r_ts, pm.wts,
+                                ),
+                            ));
+                        } else if pm.min_pending_below(r_ts) {
+                            out.push(Self::violation(
+                                at,
+                                txn,
+                                node,
+                                page,
+                                format!("read at ts {:?} woken past a smaller pending write", r_ts),
+                            ));
+                        }
+                        pm.rts = pm.rts.max(r_ts);
+                    }
+                }
+            }
+            WitnessEvent::Reject {
+                txn, node, page, ..
+            } => {
+                let pm = self.nodes.entry(node).or_default().entry(page).or_default();
+                match pm.blocked.iter().position(|&(_, t)| t == txn) {
+                    None => out.push(Self::violation(
+                        at,
+                        txn,
+                        node,
+                        page,
+                        "waiter rejected without a blocked read".into(),
+                    )),
+                    Some(pos) => {
+                        let (r_ts, _) = pm.blocked.remove(pos);
+                        if r_ts >= pm.wts {
+                            out.push(Self::violation(
+                                at,
+                                txn,
+                                node,
+                                page,
+                                format!(
+                                    "blocked read at ts {:?} rejected though still \
+                                     readable (wts {:?})",
+                                    r_ts, pm.wts,
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            WitnessEvent::Install {
+                txn,
+                node,
+                page,
+                run_ts,
+                ..
+            } => {
+                let pm = self.nodes.entry(node).or_default().entry(page).or_default();
+                pm.pending.retain(|&(_, t)| t != txn);
+                // Thomas rule at install time: only a newer write becomes
+                // the version; `max` keeps wts monotone like the manager.
+                pm.wts = pm.wts.max(run_ts);
+            }
+            WitnessEvent::Release { txn, node, .. } => {
+                if let Some(pages) = self.nodes.get_mut(&node) {
+                    for pm in pages.values_mut() {
+                        pm.pending.retain(|&(_, t)| t != txn);
+                        pm.blocked.retain(|&(_, t)| t != txn);
+                    }
+                }
+            }
+            WitnessEvent::NodeCrash { node } => {
+                // The manager is rebuilt from scratch: high-water marks are
+                // node-local soft state and do not survive.
+                self.nodes.remove(&node);
+            }
+            _ => {}
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod witness;
 
 pub use calendar::{EventCalendar, EventToken};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -29,3 +30,4 @@ pub use rng::SimRng;
 pub use stats::{BatchMeans, BusyTracker, LogHistogram, RateCounter, Tally, TimeWeighted};
 pub use time::{SimDuration, SimTime, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};
 pub use trace::TraceRing;
+pub use witness::WitnessLog;

@@ -1,0 +1,115 @@
+//! A lossless, capacity-capped event log for protocol verification.
+//!
+//! [`TraceRing`](crate::TraceRing) serves observability: when it fills it
+//! overwrites the *oldest* events, because a human debugging a long run wants
+//! the most recent window. A correctness oracle has the opposite need — an
+//! invariant checker replays the stream from the beginning, and silently
+//! dropping a prefix would turn "violation" into "pass". The witness log
+//! therefore keeps the *earliest* events: past the cap it stops recording and
+//! counts the overflow, so a checker can tell a complete stream (verdicts are
+//! definitive) from a truncated one (verdicts hold for the recorded prefix,
+//! which is still a valid — if shorter — execution).
+//!
+//! Like the trace ring, recording is engine-agnostic: the payload type is
+//! supplied by the model crate.
+
+use crate::time::SimTime;
+
+/// A grow-once event log that keeps the earliest `capacity` events.
+#[derive(Debug, Clone)]
+pub struct WitnessLog<E> {
+    events: Vec<(SimTime, E)>,
+    capacity: usize,
+    overflow: u64,
+}
+
+impl<E> WitnessLog<E> {
+    /// A log retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> WitnessLog<E> {
+        WitnessLog {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            overflow: 0,
+        }
+    }
+
+    /// Record one event at simulation time `at`. Events past the cap are
+    /// counted in [`WitnessLog::overflow`] and discarded — the retained
+    /// prefix stays contiguous.
+    #[inline]
+    pub fn push(&mut self, at: SimTime, event: E) {
+        if self.events.len() < self.capacity {
+            self.events.push((at, event));
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the log was full. Zero means the stream is
+    /// complete.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterate retained events in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.events.iter()
+    }
+
+    /// Consume the log, returning the retained prefix in recording order
+    /// plus the overflow count.
+    pub fn into_parts(self) -> (Vec<(SimTime, E)>, u64) {
+        (self.events, self.overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_earliest_events_on_overflow() {
+        let mut w = WitnessLog::new(3);
+        for i in 0..5u64 {
+            w.push(SimTime(i), i);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.overflow(), 2);
+        let kept: Vec<u64> = w.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![0, 1, 2]);
+        let (events, overflow) = w.into_parts();
+        assert_eq!(overflow, 2);
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn under_capacity_is_complete() {
+        let mut w = WitnessLog::new(8);
+        for i in 0..4u64 {
+            w.push(SimTime(i * 10), i);
+        }
+        assert_eq!(w.overflow(), 0);
+        assert!(!w.is_empty());
+        assert!(w.iter().map(|&(t, _)| t.0).eq([0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut w = WitnessLog::new(0);
+        w.push(SimTime(1), "a");
+        w.push(SimTime(2), "b");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.overflow(), 1);
+        assert_eq!(w.iter().next().unwrap().1, "a");
+    }
+}
