@@ -251,6 +251,21 @@ fn whole_sim(c: &mut Criterion) {
             })
         });
     }
+    // The replication no-op tax: the same 2PL run routed through the
+    // single-copy replication path (ROWA, factor 1). Simulated behavior is
+    // bit-identical to `2PL`; the gap to it is the per-transaction
+    // materialization cost, and the guard in BENCH_core.json keeps it from
+    // creeping.
+    group.bench_function(BenchmarkId::from_parameter("2PL-rep1"), |b| {
+        let mut config = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, 4.0);
+        config.replication = ddbm_config::ReplicationParams::rowa(1);
+        config.control.warmup_commits = 40;
+        config.control.measure_commits = 200;
+        b.iter(|| {
+            let r = run_config(black_box(config.clone())).expect("valid");
+            black_box(r.commits)
+        })
+    });
     group.finish();
 }
 

@@ -262,17 +262,19 @@ fn verify_main(argv: Vec<String>) -> i32 {
 
     let t0 = Instant::now();
     eprintln!(
-        "oracle grid: {} algorithms × {} seeds of contended runs…",
+        "oracle grid: {} algorithms × {} seeds × {} replica controls of contended runs…",
         oracle::ORACLE_GRID.len(),
         seeds.len(),
+        oracle::grid_replications().len(),
     );
     let cells = oracle::verify_grid(&seeds);
     let mut failed = false;
     for cell in &cells {
         println!(
-            "{:7} {:6} seed {:6}  {:>7} events  {} violation(s)",
+            "{:7} {:6} {:7} seed {:6}  {:>7} events  {} violation(s)",
             if cell.pass() { "PASS" } else { "FAIL" },
             cell.algorithm.to_string(),
+            cell.replication,
             cell.seed,
             cell.events,
             cell.violations,

@@ -4,7 +4,8 @@
 use crate::fault::FaultParams;
 use crate::ids::NodeId;
 use crate::params::{Algorithm, DatabaseParams, SimControl, SystemParams, WorkloadParams};
-use crate::placement::Placement;
+use crate::placement::{Placement, PlacementError};
+use crate::replication::ReplicationParams;
 use crate::trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,9 @@ pub struct Config {
     /// Fault injection (extension; defaults to fault-free).
     #[serde(default)]
     pub faults: FaultParams,
+    /// Data replication (extension; defaults to single-copy, disabled).
+    #[serde(default)]
+    pub replication: ReplicationParams,
     /// Observability (extension; defaults to fully off).
     #[serde(default)]
     pub trace: TraceConfig,
@@ -59,6 +63,7 @@ impl Config {
             algorithm,
             control: SimControl::default(),
             faults: FaultParams::default(),
+            replication: ReplicationParams::default(),
             trace: TraceConfig::default(),
         }
     }
@@ -99,9 +104,14 @@ impl Config {
         c
     }
 
-    /// The placement of files onto nodes implied by this configuration.
-    pub fn placement(&self) -> Placement {
-        Placement::paper_layout(&self.database, self.system.num_proc_nodes)
+    /// The placement of files onto nodes implied by this configuration,
+    /// including replica sets when replication is on.
+    pub fn placement(&self) -> Result<Placement, PlacementError> {
+        Placement::replicated_layout(
+            &self.database,
+            self.system.num_proc_nodes,
+            self.replication.factor,
+        )
     }
 
     /// The relation a terminal's transactions access: terminals are divided
@@ -191,6 +201,9 @@ impl Config {
         if let Err(m) = self.faults.validate() {
             return err(m);
         }
+        if let Err(m) = self.replication.validate(self.system.num_proc_nodes) {
+            return err(m);
+        }
         if let Err(m) = self.trace.validate() {
             return err(m);
         }
@@ -271,9 +284,36 @@ mod tests {
         c.control.measure_commits = 0;
         assert!(c.validate().is_err());
 
-        let mut c = base;
+        let mut c = base.clone();
         c.faults.crash_rate = f64::NAN;
         assert!(c.validate().is_err());
+
+        // Replication: factor over machine size, non-intersecting quorums,
+        // and factor > 1 with control off are all rejected.
+        let mut c = base.clone();
+        c.replication = ReplicationParams::rowa(16);
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.replication = ReplicationParams::quorum(3, 1, 2);
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.replication.factor = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn replicated_configs_validate_and_place() {
+        let mut c = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, 1.0);
+        c.replication = ReplicationParams::rowa(3);
+        c.validate().unwrap();
+        let p = c.placement().unwrap();
+        assert_eq!(p.factor(), 3);
+        assert_eq!(p.files_per_node(8), vec![24; 8]);
+
+        c.replication = ReplicationParams::quorum(3, 2, 2);
+        c.validate().unwrap();
     }
 
     #[test]
@@ -296,6 +336,6 @@ mod tests {
         let c = Config::scaling(Algorithm::Optimistic, 4, 1.0);
         assert_eq!(c.system.num_proc_nodes, 4);
         assert_eq!(c.database.declustering_degree, 4);
-        assert_eq!(c.placement().files_per_node(4), vec![16; 4]);
+        assert_eq!(c.placement().unwrap().files_per_node(4), vec![16; 4]);
     }
 }

@@ -17,6 +17,7 @@ pub mod fault;
 pub mod ids;
 pub mod params;
 pub mod placement;
+pub mod replication;
 pub mod trace;
 
 pub use config::{Config, ConfigError};
@@ -25,5 +26,6 @@ pub use ids::{FileId, NodeId, PageId, TerminalId, TxnId};
 pub use params::{
     Algorithm, DatabaseParams, ExecPattern, SimControl, SystemParams, WorkloadParams,
 };
-pub use placement::Placement;
+pub use placement::{Placement, PlacementError};
+pub use replication::{ReplicaControl, ReplicationParams};
 pub use trace::TraceConfig;

@@ -1,0 +1,222 @@
+//! Data replication parameters (extension; the paper stores every file at
+//! exactly one node).
+//!
+//! Replication adds a growth axis the paper's machine lacks: with
+//! `factor > 1` every file has an ordered replica set (primary plus
+//! `factor - 1` copies on distinct nodes), and a *replica control*
+//! discipline decides which replicas a transaction's reads and writes must
+//! touch. Read-one/write-all (ROWA) sends reads to a single live replica
+//! and writes to every live replica; quorum consensus reads `r` and writes
+//! `w` replicas with `r + w > factor` (every read quorum intersects every
+//! write quorum) and `2w > factor` (write quorums intersect each other, so
+//! conflicting writes meet at some replica and the concurrency control
+//! algorithm can order them).
+
+use serde::{Deserialize, Serialize};
+
+/// The replica control discipline applied to every read and write.
+///
+/// (Fieldless by design: the quorum sizes live in
+/// [`ReplicationParams::quorum_read`] / [`ReplicationParams::quorum_write`].)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReplicaControl {
+    /// Replication disabled: single-copy behavior, bit-identical to the
+    /// pre-replication simulator (requires `factor == 1`).
+    #[default]
+    None,
+    /// Read any one live replica; write all live replicas.
+    ReadOneWriteAll,
+    /// Read `quorum_read` live replicas, write `quorum_write` live replicas.
+    Quorum,
+}
+
+impl ReplicaControl {
+    /// A short static label for series names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicaControl::None => "none",
+            ReplicaControl::ReadOneWriteAll => "rowa",
+            ReplicaControl::Quorum => "quorum",
+        }
+    }
+}
+
+/// Replication configuration: how many copies of each file exist and which
+/// replicas each operation must touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationParams {
+    /// Copies of every file, including the primary. `1` = single copy.
+    pub factor: usize,
+    /// Replica control discipline.
+    pub control: ReplicaControl,
+    /// Read-quorum size (used only under [`ReplicaControl::Quorum`]).
+    pub quorum_read: usize,
+    /// Write-quorum size (used only under [`ReplicaControl::Quorum`]).
+    pub quorum_write: usize,
+}
+
+impl Default for ReplicationParams {
+    fn default() -> ReplicationParams {
+        ReplicationParams {
+            factor: 1,
+            control: ReplicaControl::None,
+            quorum_read: 1,
+            quorum_write: 1,
+        }
+    }
+}
+
+impl ReplicationParams {
+    /// Read-one/write-all at `factor` copies.
+    pub fn rowa(factor: usize) -> ReplicationParams {
+        ReplicationParams {
+            factor,
+            control: ReplicaControl::ReadOneWriteAll,
+            quorum_read: 1,
+            quorum_write: 1,
+        }
+    }
+
+    /// Quorum consensus at `factor` copies with read/write quorums `r`/`w`.
+    pub fn quorum(factor: usize, r: usize, w: usize) -> ReplicationParams {
+        ReplicationParams {
+            factor,
+            control: ReplicaControl::Quorum,
+            quorum_read: r,
+            quorum_write: w,
+        }
+    }
+
+    /// True when the replica-control machinery is active. The disabled
+    /// state takes the exact pre-replication code paths.
+    pub fn enabled(&self) -> bool {
+        self.control != ReplicaControl::None
+    }
+
+    /// How many live replicas a read must touch.
+    pub fn read_quorum(&self) -> usize {
+        match self.control {
+            ReplicaControl::Quorum => self.quorum_read,
+            _ => 1,
+        }
+    }
+
+    /// The minimum number of live replicas a write needs to proceed. ROWA
+    /// writes all *live* replicas (write-all-available), so one live
+    /// replica suffices; quorum writes need the full write quorum.
+    pub fn write_quorum(&self) -> usize {
+        match self.control {
+            ReplicaControl::Quorum => self.quorum_write,
+            _ => 1,
+        }
+    }
+
+    /// Check internal consistency against the machine size.
+    pub fn validate(&self, num_proc_nodes: usize) -> Result<(), String> {
+        if self.factor == 0 {
+            return Err("replication factor must be at least 1".into());
+        }
+        if self.factor > num_proc_nodes {
+            return Err(format!(
+                "replication factor {} exceeds the machine size {num_proc_nodes} \
+                 (replicas must live on distinct nodes)",
+                self.factor
+            ));
+        }
+        match self.control {
+            ReplicaControl::None => {
+                if self.factor != 1 {
+                    return Err(format!(
+                        "replication factor {} requires a replica control discipline \
+                         (control is None)",
+                        self.factor
+                    ));
+                }
+            }
+            ReplicaControl::ReadOneWriteAll => {}
+            ReplicaControl::Quorum => {
+                let (read, write) = (self.quorum_read, self.quorum_write);
+                if read == 0 || write == 0 {
+                    return Err("quorum sizes must be at least 1".into());
+                }
+                if read > self.factor || write > self.factor {
+                    return Err(format!(
+                        "quorums (r={read}, w={write}) cannot exceed the replication \
+                         factor {}",
+                        self.factor
+                    ));
+                }
+                if read + write <= self.factor {
+                    return Err(format!(
+                        "read/write quorums must intersect: r + w > factor \
+                         (r={read}, w={write}, factor={})",
+                        self.factor
+                    ));
+                }
+                if 2 * write <= self.factor {
+                    return Err(format!(
+                        "write quorums must intersect each other: 2w > factor \
+                         (w={write}, factor={})",
+                        self.factor
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_single_copy() {
+        let r = ReplicationParams::default();
+        assert_eq!(r.factor, 1);
+        assert!(!r.enabled());
+        assert_eq!(r.read_quorum(), 1);
+        assert_eq!(r.write_quorum(), 1);
+        r.validate(1).unwrap();
+    }
+
+    #[test]
+    fn quorum_intersection_is_enforced() {
+        // r + w <= factor: read and write quorums may not intersect.
+        assert!(ReplicationParams::quorum(3, 1, 2).validate(8).is_err());
+        // 2w <= factor: two write quorums may not intersect.
+        assert!(ReplicationParams::quorum(4, 3, 2).validate(8).is_err());
+        ReplicationParams::quorum(3, 2, 2).validate(8).unwrap();
+        ReplicationParams::quorum(1, 1, 1).validate(8).unwrap();
+        ReplicationParams::quorum(2, 1, 2).validate(8).unwrap();
+    }
+
+    #[test]
+    fn factor_bounded_by_machine_size() {
+        assert!(ReplicationParams::rowa(4).validate(3).is_err());
+        ReplicationParams::rowa(3).validate(3).unwrap();
+        assert!(ReplicationParams::rowa(0).validate(8).is_err());
+    }
+
+    #[test]
+    fn disabled_control_requires_factor_one() {
+        let r = ReplicationParams {
+            factor: 2,
+            ..ReplicationParams::default()
+        };
+        assert!(r.validate(8).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for r in [
+            ReplicationParams::default(),
+            ReplicationParams::rowa(3),
+            ReplicationParams::quorum(3, 2, 2),
+        ] {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: ReplicationParams = serde_json::from_str(&json).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+}

@@ -31,6 +31,9 @@ pub struct AbortBreakdown {
     /// Fault injection: presumed abort on a commit-protocol response timeout.
     #[serde(default)]
     pub cohort_timeout: u64,
+    /// Replication: no read/write set of live replicas was available.
+    #[serde(default)]
+    pub replica_unavailable: u64,
 }
 
 impl AbortBreakdown {
@@ -44,6 +47,7 @@ impl AbortBreakdown {
             AbortCause::LockTimeout => self.lock_timeout += 1,
             AbortCause::NodeCrash => self.node_crash += 1,
             AbortCause::CohortTimeout => self.cohort_timeout += 1,
+            AbortCause::ReplicaUnavailable => self.replica_unavailable += 1,
         }
     }
 
@@ -56,11 +60,12 @@ impl AbortBreakdown {
             + self.lock_timeout
             + self.node_crash
             + self.cohort_timeout
+            + self.replica_unavailable
     }
 
     /// Aborts attributable to injected faults rather than data contention.
     pub fn fault_induced(&self) -> u64 {
-        self.node_crash + self.cohort_timeout
+        self.node_crash + self.cohort_timeout + self.replica_unavailable
     }
 }
 
@@ -200,7 +205,7 @@ pub struct PhaseCollector {
     /// Exact end-to-end response total (ns).
     response_total: u64,
     /// Aborted-run lifetime (run start → abort completion) per cause, seconds.
-    abort_latency: [Tally; 7],
+    abort_latency: [Tally; 8],
 }
 
 /// Histogram resolution: 32 sub-buckets per octave (≤ ~1.6% error).
@@ -541,6 +546,7 @@ mod tests {
             AbortCause::LockTimeout,
             AbortCause::NodeCrash,
             AbortCause::CohortTimeout,
+            AbortCause::ReplicaUnavailable,
         ];
         for (i, c) in causes.iter().enumerate() {
             for _ in 0..=i {
@@ -556,12 +562,13 @@ mod tests {
                 b.validation,
                 b.lock_timeout,
                 b.node_crash,
-                b.cohort_timeout
+                b.cohort_timeout,
+                b.replica_unavailable
             ],
-            [1, 2, 3, 4, 5, 6, 7]
+            [1, 2, 3, 4, 5, 6, 7, 8]
         );
         assert_eq!(b.total(), m.aborts, "split must sum to the aggregate");
-        assert_eq!(b.fault_induced(), 6 + 7);
+        assert_eq!(b.fault_induced(), 6 + 7 + 8);
     }
 
     #[test]

@@ -38,11 +38,14 @@ pub enum AbortCause {
     /// Fault injection: the coordinator's presumed-abort response timeout
     /// expired during the vote phase.
     CohortTimeout,
+    /// Replication: too few live replicas to form the required read/write
+    /// set (ROWA with every replica down, or a broken quorum).
+    ReplicaUnavailable,
 }
 
 impl AbortCause {
     /// Every cause, in a fixed order (for per-cause breakdown tables).
-    pub const ALL: [AbortCause; 7] = [
+    pub const ALL: [AbortCause; 8] = [
         AbortCause::Deadlock,
         AbortCause::Wound,
         AbortCause::Timestamp,
@@ -50,6 +53,7 @@ impl AbortCause {
         AbortCause::LockTimeout,
         AbortCause::NodeCrash,
         AbortCause::CohortTimeout,
+        AbortCause::ReplicaUnavailable,
     ];
 
     /// A short static label for reports and traces.
@@ -62,6 +66,7 @@ impl AbortCause {
             AbortCause::LockTimeout => "lock_timeout",
             AbortCause::NodeCrash => "node_crash",
             AbortCause::CohortTimeout => "cohort_timeout",
+            AbortCause::ReplicaUnavailable => "replica_unavailable",
         }
     }
 
@@ -75,6 +80,7 @@ impl AbortCause {
             AbortCause::LockTimeout => 4,
             AbortCause::NodeCrash => 5,
             AbortCause::CohortTimeout => 6,
+            AbortCause::ReplicaUnavailable => 7,
         }
     }
 }

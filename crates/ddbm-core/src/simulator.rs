@@ -16,7 +16,7 @@ use crate::store::TxnStore;
 use crate::trace::{TraceEvent, TraceLog, Tracer};
 use crate::txn::{TxnPhase, TxnRuntime};
 use crate::witness::{WitnessEvent, WitnessReply, WitnessStream};
-use crate::workload::{generate_template, TxnTemplate};
+use crate::workload::{generate_template, materialize_replicated, TxnTemplate};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
 use ddbm_config::{Algorithm, Config, ConfigError, FaultPlan, NodeId, Placement, TxnId};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
@@ -66,12 +66,18 @@ pub struct TestHooks {
     /// non-strict early release. The 2PL strictness checker must catch it.
     #[serde(default)]
     pub early_lock_release: bool,
+    /// Replication: silently drop the last replica from every multi-replica
+    /// write set at materialization time, so a committed write is never
+    /// installed there — the classic stale-replica defect. The oracle's
+    /// under-replication / one-copy-serializability checkers must catch it.
+    #[serde(default)]
+    pub skip_replica_write: bool,
 }
 
 impl TestHooks {
     /// True when any hook is enabled.
     pub fn any(&self) -> bool {
-        self.early_lock_release
+        self.early_lock_release || self.skip_replica_write
     }
 }
 
@@ -130,6 +136,15 @@ pub struct Simulator {
     /// without phase stats is bit-identical to the pre-observability
     /// simulator.
     trace_phases: bool,
+    /// `config.replication.enabled()`, hoisted: gates every replica-routing
+    /// branch so a disabled (or `factor = 1` single-copy) run is
+    /// bit-identical to the pre-replication simulator.
+    replication_on: bool,
+    /// Replication: round-robin cursor rotating the starting replica of
+    /// each file's read set. A plain counter (no RNG draws), so replicated
+    /// runs leave every named random stream untouched relative to
+    /// single-copy runs.
+    read_rr: u64,
     /// The event recorder, present only when `config.trace.events` is on.
     tracer: Option<Box<Tracer>>,
     /// The protocol witness log, present only when `config.trace.witness`
@@ -161,7 +176,7 @@ impl Simulator {
     /// Build a simulator for `config` (validated first).
     pub fn new(config: Config) -> Result<Simulator, ConfigError> {
         config.validate()?;
-        let placement = config.placement();
+        let placement = config.placement().map_err(|e| ConfigError(e.to_string()))?;
         let seed = config.control.seed;
         let nodes = config
             .node_ids()
@@ -180,6 +195,7 @@ impl Simulator {
             .collect();
         let faults_enabled = config.faults.any();
         let trace_phases = config.trace.phase_stats;
+        let replication_on = config.replication.enabled();
         let tracer = config.trace.events.then(|| {
             Box::new(Tracer::new(
                 config.trace.capacity(),
@@ -217,6 +233,8 @@ impl Simulator {
             rng_fault: SimRng::derive(seed, "fault"),
             faults_enabled,
             trace_phases,
+            replication_on,
+            read_rr: 0,
             tracer,
             witness,
             hooks: TestHooks::default(),
@@ -740,23 +758,48 @@ impl Simulator {
         if self.draining {
             return; // chaos epilogue: no new admissions, just finish the rest
         }
+        let mut logical: Option<Rc<TxnTemplate>> = None;
+        let mut unavailable = false;
         let template: TxnTemplate = if let Some(script) = &mut self.script {
             // Oracle replay: fixed templates in submission order; once the
-            // script runs dry the terminal simply stops submitting.
+            // script runs dry the terminal simply stops submitting. Scripted
+            // templates are already physical (replica routing baked in at
+            // recording time), so they are never re-materialized.
             let Some(t) = script.templates.get(script.next) else {
                 return;
             };
             script.next += 1;
             t.clone()
         } else {
-            generate_template(&self.config, &self.placement, &mut self.rng_work, terminal)
+            let l = generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
+            if self.replication_on {
+                match self.materialize(&l) {
+                    Ok(t) => {
+                        logical = Some(Rc::new(l));
+                        t
+                    }
+                    Err(_file) => {
+                        // No live read/write replica set for some file: the
+                        // transaction aborts before doing any work and
+                        // retries after the usual restart delay.
+                        logical = Some(Rc::new(l.clone()));
+                        unavailable = true;
+                        l
+                    }
+                }
+            } else {
+                l
+            }
         };
-        if let Some(log) = &mut self.template_log {
-            log.push(template.clone());
+        if !unavailable {
+            if let Some(log) = &mut self.template_log {
+                log.push(template.clone());
+            }
         }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let txn = TxnRuntime::new(id, terminal, template, now);
+        let mut txn = TxnRuntime::new(id, terminal, template, now);
+        txn.logical = logical;
         self.txns.insert(txn);
         if let Some(w) = &mut self.witness {
             w.push(
@@ -778,6 +821,13 @@ impl Simulator {
                 },
             );
         }
+        if unavailable {
+            if let Some(t) = self.txns.get_mut(id) {
+                t.abort_cause = Some(AbortCause::ReplicaUnavailable);
+            }
+            self.complete_abort(now, id);
+            return;
+        }
         // Run 1 pays the coordinator process-startup cost at the host.
         let startup = self.config.system.inst_per_startup as f64;
         self.cpu_shared(
@@ -786,6 +836,20 @@ impl Simulator {
             CpuJob::CoordStartup { txn: id, run: 1 },
             startup,
         );
+    }
+
+    /// Replication: route a logical template onto the currently live
+    /// replicas (see [`materialize_replicated`]).
+    fn materialize(&mut self, logical: &TxnTemplate) -> Result<TxnTemplate, ddbm_config::FileId> {
+        let up: Vec<bool> = self.nodes.iter().map(|n| n.up).collect();
+        materialize_replicated(
+            &self.config,
+            &self.placement,
+            logical,
+            &up,
+            &mut self.read_rr,
+            self.hooks.skip_replica_write,
+        )
     }
 
     fn restart_txn(&mut self, now: SimTime, id: TxnId) {
@@ -820,6 +884,35 @@ impl Simulator {
         }
         // The coordinator process survives restarts; only the cohorts are
         // re-initiated, so no CoordStartup cost here.
+        //
+        // Replication under faults: the live-replica set may have changed
+        // since the last run, so the logical plan is re-routed before the
+        // cohorts load. Fault-free replicated runs keep their original
+        // routing (re-materializing would advance the read cursor and pick
+        // the same live set anyway), which also keeps recorded oracle
+        // workloads aligned with their replays.
+        if self.replication_on && self.faults_enabled {
+            let logical = self
+                .txns
+                .get(id)
+                .and_then(|t| t.logical.as_ref().map(Rc::clone));
+            if let Some(logical) = logical {
+                match self.materialize(&logical) {
+                    Ok(t) => {
+                        if let Some(txn) = self.txns.get_mut(id) {
+                            txn.replace_template(t);
+                        }
+                    }
+                    Err(_file) => {
+                        if let Some(txn) = self.txns.get_mut(id) {
+                            txn.abort_cause = Some(AbortCause::ReplicaUnavailable);
+                        }
+                        self.complete_abort(now, id);
+                        return;
+                    }
+                }
+            }
+        }
         self.load_cohorts(now, id, run);
     }
 

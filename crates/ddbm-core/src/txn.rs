@@ -140,6 +140,12 @@ pub struct TxnRuntime {
     /// mutating other transactions — cloning the handle is two machine words,
     /// not a deep copy of the access lists.
     pub template: Rc<TxnTemplate>,
+    /// Replication: the logical (single-copy) access plan this run's
+    /// `template` was materialized from. Kept so a restart can re-route the
+    /// same logical accesses onto the replicas that are live *then* (the
+    /// crash-epoch-aware part of replica selection). `None` when replication
+    /// is off or the template came from a fixed replay script.
+    pub logical: Option<Rc<TxnTemplate>>,
     /// First submission time; response time is measured from here across
     /// all restarts, and it doubles as the (stable) initial timestamp.
     pub origin: SimTime,
@@ -182,6 +188,7 @@ impl TxnRuntime {
             id,
             terminal,
             template: Rc::new(template),
+            logical: None,
             origin: now,
             run: 1,
             run_start: now,
@@ -223,6 +230,16 @@ impl TxnRuntime {
         // `phase_ns`/`phase_since` deliberately survive: the breakdown
         // accounts the transaction's whole lifetime across restarts.
         self.blocked_cohorts = 0;
+    }
+
+    /// Replication: install a freshly materialized physical plan for the
+    /// current run (replica routing can differ run to run as nodes crash
+    /// and recover), rebuilding the per-cohort progress to match.
+    pub fn replace_template(&mut self, template: TxnTemplate) {
+        let n = template.cohorts.len();
+        self.template = Rc::new(template);
+        self.cohorts.clear();
+        self.cohorts.resize_with(n, CohortRun::default);
     }
 
     /// Observability: charge the time since `phase_since` to the current

@@ -11,9 +11,11 @@
 //! Restarted runs replay the identical access set, so the template is
 //! generated once per transaction and kept until it commits.
 
-use ddbm_config::{Config, FileId, NodeId, PageId, Placement};
+use ddbm_config::{Config, FileId, NodeId, PageId, Placement, ReplicaControl};
 use denet::SimRng;
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// One page access by a cohort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +92,90 @@ pub fn generate_template(
     TxnTemplate { relation, cohorts }
 }
 
+/// Route a logical (single-copy) template onto a replicated machine.
+///
+/// The logical template produced by [`generate_template`] names each file's
+/// *primary* node; under replication every access must instead touch a set
+/// of live replicas chosen by the configured replica control:
+///
+/// * reads go to `read_quorum()` live replicas, rotating the starting
+///   replica via the caller's `read_rr` cursor so read load spreads over
+///   the replica set deterministically (no RNG draws — a disabled or
+///   `factor = 1` configuration never calls this function and stays
+///   bit-identical to the single-copy simulator);
+/// * ROWA writes go to *every* live replica (write-all-available); quorum
+///   writes go to the first `write_quorum()` live replicas in replica-set
+///   order (primary-preferred).
+///
+/// Per file, the read and write target sets are chosen once and shared by
+/// all of the transaction's pages in that file. Returns the file that could
+/// not assemble a live read or write set, which the caller reports as a
+/// `ReplicaUnavailable` abort. `skip_replica_write` is the deliberate
+/// stale-read defect hook: it silently drops the last replica from every
+/// multi-replica write set, leaving that replica stale after commit.
+pub fn materialize_replicated(
+    config: &Config,
+    placement: &Placement,
+    logical: &TxnTemplate,
+    node_up: &[bool],
+    read_rr: &mut u64,
+    skip_replica_write: bool,
+) -> Result<TxnTemplate, FileId> {
+    let n = config.system.num_proc_nodes;
+    let rp = &config.replication;
+    let rowa = rp.control == ReplicaControl::ReadOneWriteAll;
+    let (need_r, need_w) = (rp.read_quorum(), rp.write_quorum());
+    let mut targets: HashMap<FileId, (Vec<NodeId>, Vec<NodeId>)> = HashMap::new();
+    let mut cohorts: Vec<CohortSpec> = Vec::new();
+    for spec in &logical.cohorts {
+        for acc in &spec.accesses {
+            let file = acc.page.file;
+            let (reads, writes) = match targets.entry(file) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(e) => {
+                    let live: Vec<NodeId> = placement
+                        .replicas(file, n)
+                        .into_iter()
+                        .filter(|r| node_up[r.0])
+                        .collect();
+                    if live.is_empty() || live.len() < need_r || live.len() < need_w {
+                        return Err(file);
+                    }
+                    let mut writes: Vec<NodeId> = if rowa {
+                        live.clone()
+                    } else {
+                        live.iter().copied().take(need_w).collect()
+                    };
+                    if skip_replica_write && writes.len() > 1 {
+                        writes.pop();
+                    }
+                    let start = (*read_rr as usize) % live.len();
+                    *read_rr += 1;
+                    let reads: Vec<NodeId> = (0..need_r)
+                        .map(|k| live[(start + k) % live.len()])
+                        .collect();
+                    e.insert((reads, writes))
+                }
+            };
+            let (reads, writes) = (&*reads, &*writes);
+            for node in if acc.write { writes } else { reads } {
+                match cohorts.iter_mut().find(|c| c.node == *node) {
+                    Some(c) => c.accesses.push(*acc),
+                    None => cohorts.push(CohortSpec {
+                        node: *node,
+                        accesses: vec![*acc],
+                    }),
+                }
+            }
+        }
+    }
+    cohorts.sort_by_key(|c| c.node);
+    Ok(TxnTemplate {
+        relation: logical.relation,
+        cohorts,
+    })
+}
+
 fn push_file_accesses(config: &Config, rng: &mut SimRng, file: FileId, out: &mut Vec<Access>) {
     let w = &config.workload;
     let n = rng.uniform_u64(w.min_pages_per_file, w.max_pages_per_file) as usize;
@@ -112,7 +198,7 @@ mod tests {
 
     fn setup(degree: usize, nodes: usize) -> (Config, Placement, SimRng) {
         let c = Config::paper(Algorithm::TwoPhaseLocking, nodes, degree, 8.0);
-        let p = c.placement();
+        let p = c.placement().unwrap();
         (c, p, SimRng::from_seed(42))
     }
 

@@ -25,6 +25,7 @@ fn abort_breakdown_roundtrips() {
         lock_timeout: 5,
         node_crash: 6,
         cohort_timeout: 7,
+        replica_unavailable: 8,
     };
     assert_eq!(roundtrip(&b), b);
     assert_eq!(

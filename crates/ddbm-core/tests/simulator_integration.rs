@@ -370,3 +370,40 @@ fn tiny_buffer_barely_hits_under_uniform_access() {
         r.buffer_hit_ratio
     );
 }
+
+#[test]
+fn replication_factor_one_is_a_bitwise_no_op() {
+    // The replication subsystem must be invisible when disabled, and a
+    // single-copy "replicated" run (ROWA or quorum at factor 1) routes
+    // every access to the same nodes in the same order as the
+    // pre-replication simulator — so all three reports must be equal down
+    // to the last float bit (`RunReport` equality is exact).
+    for algo in [Algorithm::TwoPhaseLocking, Algorithm::Optimistic] {
+        let disabled = run(tiny(algo, 8, 1.0));
+        let mut rowa1 = tiny(algo, 8, 1.0);
+        rowa1.replication = ddbm_config::ReplicationParams::rowa(1);
+        let mut quorum1 = tiny(algo, 8, 1.0);
+        quorum1.replication = ddbm_config::ReplicationParams::quorum(1, 1, 1);
+        assert_eq!(run(rowa1), disabled, "{algo}: rowa(1) diverged");
+        assert_eq!(run(quorum1), disabled, "{algo}: quorum(1,1,1) diverged");
+    }
+}
+
+#[test]
+fn replicated_runs_complete_and_fan_out_writes() {
+    // Fault-free replicated runs finish their commit quota, and the extra
+    // write work is visible: 3-way ROWA burns more disk per commit than
+    // single-copy at the same operating point.
+    let single = run(tiny(Algorithm::TwoPhaseLocking, 8, 4.0));
+    let mut c = tiny(Algorithm::TwoPhaseLocking, 8, 4.0);
+    c.replication = ddbm_config::ReplicationParams::rowa(3);
+    let replicated = run(c);
+    assert_eq!(replicated.commits, 150);
+    assert!(!replicated.truncated);
+    assert!(
+        replicated.mean_response_time > single.mean_response_time,
+        "3-way writes should cost response time: {} vs {}",
+        replicated.mean_response_time,
+        single.mean_response_time
+    );
+}

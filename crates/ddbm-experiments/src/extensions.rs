@@ -5,7 +5,7 @@
 use crate::profile::Profile;
 use crate::runner::Runner;
 use crate::table::{FigureResult, Series};
-use ddbm_config::{Algorithm, Config, ExecPattern};
+use ddbm_config::{Algorithm, Config, ExecPattern, ReplicationParams};
 use denet::SimDuration;
 
 /// E20: sequential (RPC-style, Non-Stop SQL) vs parallel (Gamma-style)
@@ -206,6 +206,13 @@ pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
         &E25_CRASH_RATES,
         SimDuration::from_millis(E25_RECOVERY_MS),
     );
+    let (e27_tp, e27_rt) = e27_replication_overhead(runner, profile, 1.0);
+    let (e28_tp, e28_ab) = e28_availability(
+        runner,
+        profile,
+        &E28_CRASH_RATES,
+        SimDuration::from_millis(E28_RECOVERY_MS),
+    );
     vec![
         e20_exec_pattern(runner, profile),
         e21_rt,
@@ -223,6 +230,10 @@ pub fn all_extensions(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
             &E25_CRASH_RATES,
             SimDuration::from_millis(E25_RECOVERY_MS),
         ),
+        e27_tp,
+        e27_rt,
+        e28_tp,
+        e28_ab,
     ]
 }
 
@@ -390,6 +401,177 @@ pub fn e26_trace_config(profile: &Profile) -> Config {
         SimDuration::from_millis(E25_RECOVERY_MS),
     );
     profile.apply(&mut c);
+    c
+}
+
+/// The replication factors swept by E27 (copies of every file on the
+/// 8-node machine; 1 = the single-copy paper baseline).
+pub const E27_FACTORS: [usize; 3] = [1, 2, 3];
+
+/// The replica control used for one E27/E28 operating point. Factor 1 is
+/// the genuine single-copy baseline (replication disabled, bit-identical to
+/// the pre-replication simulator); larger factors use ROWA or a majority
+/// read/write quorum (factor 2: r=1/w=2, factor 3: r=2/w=2).
+pub fn replication_point(factor: usize, quorum: bool) -> ReplicationParams {
+    match (factor, quorum) {
+        (0 | 1, _) => ReplicationParams::default(),
+        (f, false) => ReplicationParams::rowa(f),
+        (f, true) => {
+            let w = f / 2 + 1;
+            ReplicationParams::quorum(f, f + 1 - w, w)
+        }
+    }
+}
+
+/// E27: what does replication cost when nothing fails? Throughput and
+/// response time vs replication factor for all five paper algorithms under
+/// both replica controls. ROWA pays the full write fan-out (every write
+/// touches `factor` nodes, certification and 2PC span all of them) but
+/// reads stay single-replica; the quorum control trades some of the write
+/// fan-out for multi-replica reads. Each copy also multiplies the data
+/// stored per node, so lock/timestamp conflicts rise with the factor.
+pub fn e27_replication_overhead(
+    runner: &Runner,
+    profile: &Profile,
+    think: f64,
+) -> (FigureResult, FigureResult) {
+    let mut tput = Vec::new();
+    let mut resp = Vec::new();
+    for algo in Algorithm::ALL {
+        for (label, quorum) in [("rowa", false), ("quorum", true)] {
+            let mut configs = Vec::new();
+            for &factor in &E27_FACTORS {
+                let mut c = Config::paper(algo, 8, 8, think);
+                c.replication = replication_point(factor, quorum);
+                profile.apply(&mut c);
+                configs.push(c);
+            }
+            let reports = runner.run_all(&configs);
+            let name = format!("{} {label}", algo.label());
+            tput.push(Series {
+                name: name.clone(),
+                ys: reports.iter().map(|r| r.throughput).collect(),
+            });
+            resp.push(Series {
+                name,
+                ys: reports.iter().map(|r| r.mean_response_time).collect(),
+            });
+        }
+    }
+    let xs: Vec<f64> = E27_FACTORS.iter().map(|f| *f as f64).collect();
+    (
+        FigureResult {
+            id: "e27-tput".into(),
+            title: format!(
+                "Replication overhead: throughput vs replication factor (8 nodes, think {think}s)"
+            ),
+            x_label: "replication factor".into(),
+            y_label: "throughput (txn/s)".into(),
+            xs: xs.clone(),
+            series: tput,
+        },
+        FigureResult {
+            id: "e27-resp".into(),
+            title: format!(
+                "Replication overhead: response time vs replication factor (8 nodes, think {think}s)"
+            ),
+            x_label: "replication factor".into(),
+            y_label: "response time (s)".into(),
+            xs,
+            series: resp,
+        },
+    )
+}
+
+/// The per-node crash rates swept by E28 (same grid as E25).
+pub const E28_CRASH_RATES: [f64; 4] = E25_CRASH_RATES;
+
+/// The crash-recovery delay used by E28, in milliseconds. Longer than
+/// E25's so a single-copy machine visibly stalls on every dead node while
+/// the replicated one routes around it.
+pub const E28_RECOVERY_MS: u64 = 5_000;
+
+/// E28: what does replication buy when nodes fail? Goodput and
+/// fault-induced aborts (crash, cohort-timeout, and replica-unavailable)
+/// vs crash rate for single-copy vs three-way ROWA. The single-copy
+/// machine has exactly one home for each file: every transaction touching
+/// a dead node stalls until the presumed-abort timeout kills it. The
+/// replicated machine re-routes reads to live replicas and shrinks write
+/// sets to the live members, aborting only when *all* copies of a file are
+/// down — so it keeps committing through crash schedules that starve the
+/// single-copy baseline.
+pub fn e28_availability(
+    runner: &Runner,
+    profile: &Profile,
+    crash_rates: &[f64],
+    recovery: SimDuration,
+) -> (FigureResult, FigureResult) {
+    let think = 1.0;
+    let mut tput = Vec::new();
+    let mut aborts = Vec::new();
+    for algo in [Algorithm::TwoPhaseLocking, Algorithm::Optimistic] {
+        for factor in [1usize, 3] {
+            let mut configs = Vec::new();
+            for &rate in crash_rates {
+                configs.push(e28_config(algo, factor, think, rate, recovery));
+            }
+            let mut configs_applied = Vec::new();
+            for mut c in configs {
+                profile.apply(&mut c);
+                configs_applied.push(c);
+            }
+            let reports = runner.run_all(&configs_applied);
+            let name = format!("{} factor {factor}", algo.label());
+            tput.push(Series {
+                name: name.clone(),
+                ys: reports.iter().map(|r| r.throughput).collect(),
+            });
+            aborts.push(Series {
+                name,
+                ys: reports
+                    .iter()
+                    .map(|r| r.aborts_by_cause.fault_induced() as f64 / r.commits.max(1) as f64)
+                    .collect(),
+            });
+        }
+    }
+    let recovery_s = recovery.as_secs_f64();
+    (
+        FigureResult {
+            id: "e28-tput".into(),
+            title: format!(
+                "Availability: goodput vs crash rate, single-copy vs 3-way ROWA (recovery {recovery_s}s, think {think}s)"
+            ),
+            x_label: "crash rate (per node per s)".into(),
+            y_label: "throughput (txn/s)".into(),
+            xs: crash_rates.to_vec(),
+            series: tput,
+        },
+        FigureResult {
+            id: "e28-aborts".into(),
+            title: format!(
+                "Availability: fault-induced aborts vs crash rate, single-copy vs 3-way ROWA (recovery {recovery_s}s, think {think}s)"
+            ),
+            x_label: "crash rate (per node per s)".into(),
+            y_label: "fault-induced aborts per commit".into(),
+            xs: crash_rates.to_vec(),
+            series: aborts,
+        },
+    )
+}
+
+/// The E28 operating point: the E25 fault machine (seeded crashes, mild
+/// message noise) with `factor`-way ROWA replication. Factor 1 is the
+/// genuine single-copy simulator.
+pub fn e28_config(
+    algo: Algorithm,
+    factor: usize,
+    think: f64,
+    crash_rate: f64,
+    recovery: SimDuration,
+) -> Config {
+    let mut c = e25_config(algo, think, crash_rate, recovery);
+    c.replication = replication_point(factor, false);
     c
 }
 

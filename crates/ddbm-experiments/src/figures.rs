@@ -500,7 +500,7 @@ pub fn all_figures(runner: &Runner, profile: &Profile) -> Vec<FigureResult> {
     ]
 }
 
-/// Look up a figure builder by id (`fig02`…`fig17`, `e17`…`e26`).
+/// Look up a figure builder by id (`fig02`…`fig17`, `e17`…`e28`).
 pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureResult>> {
     let one = |f: FigureResult| Some(vec![f]);
     match id {
@@ -558,14 +558,27 @@ pub fn by_id(runner: &Runner, profile: &Profile, id: &str) -> Option<Vec<FigureR
             );
             Some(vec![a, b])
         }
+        "e27" => {
+            let (a, b) = crate::extensions::e27_replication_overhead(runner, profile, 1.0);
+            Some(vec![a, b])
+        }
+        "e28" => {
+            let (a, b) = crate::extensions::e28_availability(
+                runner,
+                profile,
+                &crate::extensions::E28_CRASH_RATES,
+                denet::SimDuration::from_millis(crate::extensions::E28_RECOVERY_MS),
+            );
+            Some(vec![a, b])
+        }
         _ => None,
     }
 }
 
 /// All valid figure ids accepted by [`by_id`]: the paper's artifacts plus
-/// this reproduction's extension experiments (e20–e26).
-pub const FIGURE_IDS: [&str; 26] = [
+/// this reproduction's extension experiments (e20–e28).
+pub const FIGURE_IDS: [&str; 28] = [
     "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "e17", "e18", "e19", "e20", "e21", "e22",
-    "e23", "e24", "e25", "e26",
+    "e23", "e24", "e25", "e26", "e27", "e28",
 ];

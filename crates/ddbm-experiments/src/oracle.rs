@@ -7,7 +7,7 @@
 //! algorithm × seed cell, with the full witness stream checked against the
 //! protocol reference models.
 
-use ddbm_config::{Algorithm, Config};
+use ddbm_config::{Algorithm, Config, ReplicationParams};
 use ddbm_core::TestHooks;
 use ddbm_oracle::run_and_check;
 use denet::SimDuration;
@@ -26,6 +26,19 @@ pub const ORACLE_GRID: [Algorithm; 6] = [
 
 /// Default seeds for the gate: four well-separated streams.
 pub const ORACLE_SEEDS: [u64; 4] = [7, 99, 1009, 65_537];
+
+/// The replica controls the grid covers besides single-copy: three-way
+/// ROWA and a 3-replica majority quorum (r = 2, w = 2). Each control runs
+/// the full algorithm × seed grid and must be one-copy clean: the
+/// per-replica checkers, the write-quorum invariant, and the collapsed
+/// one-copy polygraph.
+pub fn grid_replications() -> [(&'static str, ReplicationParams); 3] {
+    [
+        ("single", ReplicationParams::default()),
+        ("rowa3", ReplicationParams::rowa(3)),
+        ("quorum3", ReplicationParams::quorum(3, 2, 2)),
+    ]
+}
 
 /// A small, heavily contended configuration: 4 nodes, 16 terminals, a hot
 /// 30-page-per-file database, zero think time.
@@ -50,6 +63,8 @@ pub struct OracleCell {
     pub algorithm: Algorithm,
     /// Seed of the run.
     pub seed: u64,
+    /// Replica-control label of the run (`single`, `rowa3`, `quorum3`).
+    pub replication: &'static str,
     /// Witness events examined.
     pub events: usize,
     /// Invariant violations found.
@@ -69,24 +84,29 @@ impl OracleCell {
 
 /// Run the full grid over `seeds`, sequentially and deterministically.
 pub fn verify_grid(seeds: &[u64]) -> Vec<OracleCell> {
-    let mut cells = Vec::with_capacity(ORACLE_GRID.len() * seeds.len());
-    for &algorithm in &ORACLE_GRID {
-        for &seed in seeds {
-            let config = oracle_config(algorithm, seed);
-            let (rec, report) =
-                run_and_check(config, None, TestHooks::default()).expect("grid config is valid");
-            cells.push(OracleCell {
-                algorithm,
-                seed,
-                events: report.events,
-                violations: report.total_violations,
-                overflow: rec.witness_overflow,
-                detail: if report.clean() {
-                    String::new()
-                } else {
-                    report.render()
-                },
-            });
+    let replications = grid_replications();
+    let mut cells = Vec::with_capacity(ORACLE_GRID.len() * seeds.len() * replications.len());
+    for &(label, replication) in &replications {
+        for &algorithm in &ORACLE_GRID {
+            for &seed in seeds {
+                let mut config = oracle_config(algorithm, seed);
+                config.replication = replication;
+                let (rec, report) = run_and_check(config, None, TestHooks::default())
+                    .expect("grid config is valid");
+                cells.push(OracleCell {
+                    algorithm,
+                    seed,
+                    replication: label,
+                    events: report.events,
+                    violations: report.total_violations,
+                    overflow: rec.witness_overflow,
+                    detail: if report.clean() {
+                        String::new()
+                    } else {
+                        report.render()
+                    },
+                });
+            }
         }
     }
     cells
@@ -99,16 +119,22 @@ mod tests {
     #[test]
     fn one_grid_cell_passes() {
         let cells = verify_grid(&[7]);
-        assert_eq!(cells.len(), ORACLE_GRID.len());
+        assert_eq!(cells.len(), ORACLE_GRID.len() * grid_replications().len());
         for cell in &cells {
             assert!(
                 cell.pass(),
-                "{} seed {}: {}",
+                "{} {} seed {}: {}",
                 cell.algorithm,
+                cell.replication,
                 cell.seed,
                 cell.detail
             );
-            assert!(cell.events > 1_000, "{}: thin stream", cell.algorithm);
+            assert!(
+                cell.events > 1_000,
+                "{} {}: thin stream",
+                cell.algorithm,
+                cell.replication
+            );
         }
     }
 }

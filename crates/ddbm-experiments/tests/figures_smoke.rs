@@ -78,7 +78,7 @@ fn by_id_covers_every_figure() {
     // Only check the mapping exists and rejects junk — reuse cached runs for
     // one real id.
     assert!(figures::by_id(&runner, &profile, "nonsense").is_none());
-    assert_eq!(figures::FIGURE_IDS.len(), 26);
+    assert_eq!(figures::FIGURE_IDS.len(), 28);
     let f = figures::by_id(&runner, &profile, "fig12").unwrap();
     assert_eq!(f[0].id, "fig12");
 }
@@ -88,7 +88,7 @@ fn extension_experiments_build() {
     let runner = Runner::new(0);
     let profile = Profile::test();
     let figs = ddbm_experiments::extensions::all_extensions(&runner, &profile);
-    assert_eq!(figs.len(), 11);
+    assert_eq!(figs.len(), 15);
     for fig in &figs {
         assert!(!fig.series.is_empty(), "{} empty", fig.id);
         for s in &fig.series {
@@ -133,6 +133,51 @@ fn extension_experiments_build() {
         opt_lock_wait.ys.iter().all(|y| *y == 0.0),
         "OPT never blocks on locks"
     );
+
+    // e27: 10 series (5 algorithms × 2 replica controls) over factors
+    // 1..3; the factor-1 points of the rowa and quorum variants are the
+    // same single-copy run, so each pair must agree exactly there.
+    let e27 = figs.iter().find(|f| f.id == "e27-tput").unwrap();
+    assert_eq!(e27.series.len(), 10, "5 algos × 2 replica controls");
+    assert_eq!(e27.xs, vec![1.0, 2.0, 3.0]);
+    for algo in ["2PL", "BTO", "WW", "OPT", "NO_DC"] {
+        let rowa = e27.series(&format!("{algo} rowa")).unwrap();
+        let quorum = e27.series(&format!("{algo} quorum")).unwrap();
+        assert_eq!(
+            rowa.ys[0], quorum.ys[0],
+            "{algo}: factor 1 is the shared single-copy baseline"
+        );
+        assert!(rowa.ys.iter().all(|y| *y > 0.0), "{algo} rowa stalled");
+    }
+
+    // e28: the availability win. Wherever the single-copy run accumulates
+    // fault-induced aborts, the 3-way replicated run must still be
+    // committing (its goodput stays positive), and crash-free goodput must
+    // be positive everywhere.
+    let e28_tp = figs.iter().find(|f| f.id == "e28-tput").unwrap();
+    let e28_ab = figs.iter().find(|f| f.id == "e28-aborts").unwrap();
+    assert_eq!(e28_tp.series.len(), 4, "2 algorithms × 2 factors");
+    for algo in ["2PL", "OPT"] {
+        let single_ab = e28_ab.series(&format!("{algo} factor 1")).unwrap();
+        let replicated_tp = e28_tp.series(&format!("{algo} factor 3")).unwrap();
+        let single_tp = e28_tp.series(&format!("{algo} factor 1")).unwrap();
+        assert!(single_tp.ys[0] > 0.0 && replicated_tp.ys[0] > 0.0);
+        let mut stressed = 0;
+        for (i, &aborts) in single_ab.ys.iter().enumerate() {
+            if aborts > 0.0 {
+                stressed += 1;
+                assert!(
+                    replicated_tp.ys[i] > 0.0,
+                    "{algo}: replicated goodput must survive crash rate {}",
+                    e28_tp.xs[i]
+                );
+            }
+        }
+        assert!(
+            stressed > 0,
+            "{algo}: the crash grid must stress the single-copy machine"
+        );
+    }
 
     // e20: sequential must not be faster than parallel at the light point.
     let e20 = &figs[0];

@@ -31,6 +31,7 @@
 pub mod btocheck;
 pub mod locking;
 pub mod phase;
+pub mod replica;
 pub mod repro;
 pub mod shrink;
 pub mod violation;
@@ -40,13 +41,14 @@ pub use btocheck::BtoChecker;
 pub use ddbm_core::{WitnessEvent, WitnessReply, WitnessStream};
 pub use locking::{LockChecker, LockVariant};
 pub use phase::PhaseTracker;
+pub use replica::ReplicaChecker;
 pub use repro::{ReproFile, REPRO_VERSION};
 pub use shrink::{shrink_workload, ShrinkOutcome};
 pub use violation::{Violation, ViolationKind};
 pub use vsr::{VersionOrder, VsrCollector, VsrOutcome};
 
 use ddbm_cc::rules_of;
-use ddbm_config::{Algorithm, Config, ConfigError};
+use ddbm_config::{Algorithm, Config, ConfigError, ReplicationParams};
 use ddbm_core::{OracleRecording, TestHooks, TxnTemplate};
 use denet::SimTime;
 
@@ -66,6 +68,10 @@ pub struct CheckOptions {
     /// Keep at most this many violations in the report (the total is still
     /// counted).
     pub max_violations: usize,
+    /// The replication parameters of the run: when enabled (and fault-free),
+    /// committed writes are checked against the replica-control write
+    /// requirement (one-copy-serializability support).
+    pub replication: ReplicationParams,
 }
 
 impl CheckOptions {
@@ -77,6 +83,7 @@ impl CheckOptions {
             faults: false,
             vsr_budget: 20_000,
             max_violations: 256,
+            replication: ReplicationParams::default(),
         }
     }
 }
@@ -87,6 +94,7 @@ pub fn check_options_for(config: &Config) -> CheckOptions {
         algorithm: config.algorithm,
         lock_barging: config.system.lock_barging,
         faults: config.faults.any(),
+        replication: config.replication,
         ..CheckOptions::new(config.algorithm)
     }
 }
@@ -223,6 +231,10 @@ pub fn check_stream(opts: &CheckOptions, stream: &WitnessStream) -> OracleReport
         None => AlgoChecker::Structural,
     };
     let mut vsr = VsrCollector::new(VersionOrder::for_algorithm(opts.algorithm));
+    // The write-quorum check only makes sense on fault-free streams: under
+    // faults ROWA legitimately writes fewer than `factor` replicas.
+    let mut replica = (opts.replication.enabled() && !opts.faults)
+        .then(|| ReplicaChecker::new(&opts.replication));
     let mut violations: Vec<Violation> = Vec::new();
 
     for &(at, ref ev) in stream {
@@ -252,6 +264,9 @@ pub fn check_stream(opts: &CheckOptions, stream: &WitnessStream) -> OracleReport
             AlgoChecker::Lock(c) => c.observe(at, ev, &mut violations),
             AlgoChecker::Bto(c) => c.observe(at, ev, &mut violations),
             AlgoChecker::Structural => structural_observe(at, ev, &mut violations),
+        }
+        if let Some(rc) = &mut replica {
+            rc.observe(at, ev, &mut violations);
         }
         vsr.observe(ev);
     }

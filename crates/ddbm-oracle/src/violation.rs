@@ -50,6 +50,10 @@ pub enum ViolationKind {
     UnsanctionedContention,
     /// The committed history is not view-serializable (polygraph check).
     NotViewSerializable,
+    /// Replication: a committed write was installed at fewer replicas than
+    /// the replica control requires (ROWA: every replica; quorum: `w`),
+    /// leaving a stale copy that later reads may observe.
+    UnderReplicatedWrite,
 }
 
 impl fmt::Display for ViolationKind {
@@ -68,6 +72,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::TimestampOrder => "timestamp-order",
             ViolationKind::UnsanctionedContention => "unsanctioned-contention",
             ViolationKind::NotViewSerializable => "not-view-serializable",
+            ViolationKind::UnderReplicatedWrite => "under-replicated-write",
         };
         f.write_str(s)
     }

@@ -13,7 +13,7 @@
 //! validation produce histories that are view- but not conflict-serializable.
 
 use ddbm_cc::Ts;
-use ddbm_config::{Algorithm, PageId, TxnId};
+use ddbm_config::{Algorithm, NodeId, PageId, TxnId};
 use ddbm_core::protocol::RunId;
 use ddbm_core::WitnessEvent;
 use denet::{FxHashMap, FxHashSet};
@@ -81,16 +81,34 @@ impl VsrOutcome {
 struct Version {
     writer: Run,
     key: Ts,
+    /// Stream position of the install, the total-order tiebreak: under
+    /// `StreamOrder` the key is constant, so the newest version of a page
+    /// across replicas is the one with the largest `seq`.
+    seq: u64,
+}
+
+impl Version {
+    /// `true` when `self` is the newer of two versions of one page under
+    /// the collector's version order (the one-copy collapse rule).
+    fn newer_than(&self, other: &Version) -> bool {
+        (self.key, self.seq) > (other.key, other.seq)
+    }
 }
 
 /// See module docs.
 #[derive(Debug)]
 pub struct VsrCollector {
     order: VersionOrder,
-    /// Currently visible version per page (None = initial database state).
-    current: FxHashMap<PageId, Version>,
+    /// Currently visible version per *replica* of a page (None = initial
+    /// database state). Single-copy runs have exactly one entry per page;
+    /// replicated runs collapse to one-copy semantics at read-record and
+    /// finalize time.
+    current: FxHashMap<(NodeId, PageId), Version>,
     /// Reads-from per run: (page, installed version read; None = initial).
-    reads: FxHashMap<Run, Vec<(PageId, Option<Run>)>>,
+    /// A replicated (quorum) read observes several replicas and returns the
+    /// newest version among them, so multiple observations of one page by
+    /// one run keep only the newest candidate.
+    reads: FxHashMap<Run, Vec<(PageId, Option<Version>)>>,
     /// Pages installed per run, with the order key used.
     installs: FxHashMap<Run, Vec<PageId>>,
     /// First-install stream position per run (tiebreak for truncated runs).
@@ -119,9 +137,26 @@ impl VsrCollector {
         }
     }
 
-    fn record_read(&mut self, txn: TxnId, run: RunId, page: PageId) {
-        let from = self.current.get(&page).map(|v| v.writer);
-        self.reads.entry((txn, run)).or_default().push((page, from));
+    fn record_read(&mut self, txn: TxnId, run: RunId, node: NodeId, page: PageId) {
+        let obs = self.current.get(&(node, page)).copied();
+        let list = self.reads.entry((txn, run)).or_default();
+        // One-copy collapse: a quorum read touches several replicas and
+        // returns the newest version it saw, so a repeat observation of the
+        // same page by the same run only replaces a strictly older one.
+        // Single-copy runs never observe a page twice per run.
+        match list.iter_mut().find(|(p, _)| *p == page) {
+            Some((_, existing)) => {
+                let better = match (&existing, &obs) {
+                    (None, Some(_)) => true,
+                    (Some(e), Some(o)) => o.newer_than(e),
+                    _ => false,
+                };
+                if better {
+                    *existing = obs;
+                }
+            }
+            None => list.push((page, obs)),
+        }
     }
 
     /// Feed one witnessed event.
@@ -130,30 +165,31 @@ impl VsrCollector {
             WitnessEvent::Access {
                 txn,
                 run,
-                node: _,
+                node,
                 page,
                 write,
                 reply,
                 ..
             } if !write && reply == crate::WitnessReply::Granted => {
-                self.record_read(txn, run, page);
+                self.record_read(txn, run, node, page);
             }
             WitnessEvent::Grant {
                 txn,
                 run,
+                node,
                 page,
                 write,
                 ..
             } if !write => {
-                self.record_read(txn, run, page);
+                self.record_read(txn, run, node, page);
             }
             WitnessEvent::Install {
                 txn,
                 run,
+                node,
                 page,
                 run_ts,
                 commit_ts,
-                ..
             } => {
                 self.seq += 1;
                 let key = match self.order {
@@ -164,16 +200,22 @@ impl VsrCollector {
                 let candidate = Version {
                     writer: (txn, run),
                     key,
+                    seq: self.seq,
                 };
-                let replace = match (self.order, self.current.get(&page)) {
+                let replace = match (self.order, self.current.get(&(node, page))) {
                     (_, None) | (VersionOrder::StreamOrder, _) => true,
                     (_, Some(cur)) => key > cur.key,
                 };
                 if replace {
-                    self.current.insert(page, candidate);
+                    self.current.insert((node, page), candidate);
                 }
                 let run_key = (txn, run);
-                self.installs.entry(run_key).or_default().push(page);
+                // Replicated installs repeat the page once per written
+                // replica; the logical write set is deduplicated.
+                let pages = self.installs.entry(run_key).or_default();
+                if !pages.contains(&page) {
+                    pages.push(page);
+                }
                 self.install_seq.entry(run_key).or_insert(self.seq);
                 self.install_ts.insert(run_key, (run_ts, commit_ts));
             }
@@ -235,12 +277,21 @@ impl VsrCollector {
         for w in writers.values_mut() {
             w.sort_by_key(|r| pos[r]);
         }
-        let finals: Vec<(PageId, Run)> = self
-            .current
-            .iter()
-            .filter(|(_, v)| self.committed_set.contains(&v.writer))
-            .map(|(&p, v)| (p, v.writer))
-            .collect();
+        // One-copy collapse of the final state: per logical page, the newest
+        // committed version across every replica.
+        let mut best: FxHashMap<PageId, Version> = FxHashMap::default();
+        for (&(_, p), v) in &self.current {
+            if !self.committed_set.contains(&v.writer) {
+                continue;
+            }
+            match best.get(&p) {
+                Some(b) if !v.newer_than(b) => {}
+                _ => {
+                    best.insert(p, *v);
+                }
+            }
+        }
+        let finals: Vec<(PageId, Run)> = best.into_iter().map(|(p, v)| (p, v.writer)).collect();
 
         // Reads by committed runs only; drop reads-from of uncommitted
         // writers (impossible: installs imply commitment) defensively.
@@ -249,7 +300,8 @@ impl VsrCollector {
             if !self.committed_set.contains(&r) {
                 continue;
             }
-            for &(page, from) in list {
+            for &(page, obs) in list {
+                let from = obs.map(|v| v.writer);
                 if from.is_none_or(|w| self.committed_set.contains(&w)) {
                     read_edges.push((r, page, from));
                 }

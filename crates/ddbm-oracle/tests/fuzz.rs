@@ -106,6 +106,40 @@ fn oracle_fault_sweep() {
     }
 }
 
+/// The replica-write defect detector stays sharp under every algorithm and
+/// both replica controls: a dropped replica write (the last copy of every
+/// write set left stale) must surface as an under-replicated-write
+/// violation whether the control is ROWA or majority quorums.
+#[test]
+#[ignore = "heavy: injected replica-defect sweep (nightly CI)"]
+fn skipped_replica_write_is_caught_under_every_algorithm() {
+    use ddbm_oracle::ViolationKind;
+    for algorithm in Algorithm::ALL {
+        for quorum in [false, true] {
+            let mut config = fuzz_config(algorithm, 7, 60);
+            config.replication = if quorum {
+                ddbm_config::ReplicationParams::quorum(3, 2, 2)
+            } else {
+                ddbm_config::ReplicationParams::rowa(3)
+            };
+            let hooks = TestHooks {
+                skip_replica_write: true,
+                ..TestHooks::default()
+            };
+            let label = if quorum { "quorum" } else { "rowa" };
+            let (_, report) = run_and_check(config, None, hooks).expect("valid config");
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::UnderReplicatedWrite),
+                "{algorithm} {label}: the stale replica went unnoticed: {}",
+                report.render()
+            );
+        }
+    }
+}
+
 /// The injected-defect detector stays sharp under every locking algorithm:
 /// early lock release must be caught no matter the variant.
 #[test]
@@ -120,6 +154,7 @@ fn early_release_is_caught_under_every_locking_variant() {
         let config = fuzz_config(algorithm, 7, 60);
         let hooks = TestHooks {
             early_lock_release: true,
+            ..TestHooks::default()
         };
         let (_, report) = run_and_check(config, None, hooks).expect("valid config");
         assert!(

@@ -98,6 +98,7 @@ fn early_lock_release_is_caught_shrunk_and_replayable() {
     // and (3) written to a repro file that deterministically reproduces.
     let hooks = TestHooks {
         early_lock_release: true,
+        ..TestHooks::default()
     };
     let mut config = contended(Algorithm::TwoPhaseLocking, 99);
     config.control.measure_commits = 40;
@@ -135,6 +136,98 @@ fn early_lock_release_is_caught_shrunk_and_replayable() {
         json
     );
     let path = std::env::temp_dir().join("ddbm-oracle-e2e.repro.json");
+    repro.save(&path).expect("saves");
+    let loaded = ReproFile::load(&path).expect("loads");
+    assert!(loaded.verify().expect("replays"), "first replay diverged");
+    assert!(loaded.verify().expect("replays"), "second replay diverged");
+    assert!(!loaded.violations.is_empty());
+}
+
+/// The contended grid config with three-way replication.
+fn replicated(algorithm: Algorithm, seed: u64, quorum: bool) -> Config {
+    let mut c = contended(algorithm, seed);
+    c.replication = if quorum {
+        ddbm_config::ReplicationParams::quorum(3, 2, 2)
+    } else {
+        ddbm_config::ReplicationParams::rowa(3)
+    };
+    c
+}
+
+#[test]
+fn replicated_runs_pass_the_oracle() {
+    // One-copy serializability: with reads and writes fanned out over three
+    // replicas, the per-replica CC checkers and the collapsed polygraph
+    // must both stay clean, and every committed write must reach its full
+    // write set.
+    for (algorithm, quorum) in [
+        (Algorithm::TwoPhaseLocking, false),
+        (Algorithm::TwoPhaseLocking, true),
+        (Algorithm::BasicTimestampOrdering, false),
+        (Algorithm::WoundWait, true),
+        (Algorithm::Optimistic, false),
+    ] {
+        let config = replicated(algorithm, 7, quorum);
+        let rec = run_oracle(config.clone(), None, TestHooks::default()).expect("valid");
+        let report = check_recording(&config, &rec);
+        let label = if quorum { "quorum" } else { "rowa" };
+        assert_eq!(rec.witness_overflow, 0, "{algorithm} {label}");
+        assert!(report.events > 1_000, "{algorithm} {label}: thin stream");
+        assert!(report.clean(), "{algorithm} {label}: {}", report.render());
+        assert!(
+            report.vsr.acceptable(),
+            "{algorithm} {label}: {:?}",
+            report.vsr
+        );
+    }
+}
+
+#[test]
+fn skipped_replica_write_is_caught_shrunk_and_replayable() {
+    // The replication acceptance scenario: a deliberately dropped replica
+    // write (the skip_replica_write hook leaves the last replica of every
+    // write set stale) must be (1) caught by the one-copy write-set
+    // checker, (2) shrunk to at most 8 operations, and (3) frozen as a
+    // repro file that deterministically replays.
+    let hooks = TestHooks {
+        skip_replica_write: true,
+        ..TestHooks::default()
+    };
+    let mut config = replicated(Algorithm::TwoPhaseLocking, 99, false);
+    config.control.measure_commits = 40;
+
+    // (1) Catch it.
+    let rec = run_oracle(config.clone(), None, hooks).expect("valid");
+    let report = check_recording(&config, &rec);
+    assert!(!report.clean(), "the stale replica went unnoticed");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnderReplicatedWrite),
+        "wrong violation kind: {}",
+        report.render()
+    );
+
+    // (2) Shrink it.
+    let shrunk = shrink_workload(&config, hooks, rec.templates, 400);
+    assert!(!shrunk.report.clean(), "shrinking lost the failure");
+    assert!(
+        shrunk.operations <= 8,
+        "shrunk workload still has {} operations ({} txns, {} trials)",
+        shrunk.operations,
+        shrunk.templates.len(),
+        shrunk.trials
+    );
+
+    // (3) Freeze and replay it — twice, to prove determinism.
+    let repro = ReproFile::new(config, hooks, shrunk.templates, &shrunk.report);
+    let json = repro.to_json();
+    assert_eq!(
+        ReproFile::from_json(&json).expect("round-trips").to_json(),
+        json
+    );
+    let path = std::env::temp_dir().join("ddbm-oracle-replica.repro.json");
     repro.save(&path).expect("saves");
     let loaded = ReproFile::load(&path).expect("loads");
     assert!(loaded.verify().expect("replays"), "first replay diverged");
