@@ -98,6 +98,56 @@ fn calendar(c: &mut Criterion) {
             black_box(sum)
         })
     });
+    // The zero-delay storm: the shape of zero-wire-time message traffic,
+    // where each popped event fans out into a chain of same-instant
+    // follow-ups (a MsgArrive that immediately triggers CPU polls and
+    // further sends) before the next timed arrival. Three of every four
+    // pops ride the same-instant fast lane.
+    c.bench_function("calendar/same_instant_storm", |b| {
+        b.iter(|| {
+            let mut cal = EventCalendar::new();
+            let mut rng = SimRng::from_seed(4);
+            for i in 0..64u64 {
+                cal.schedule(SimTime(i + 1), i * 4);
+            }
+            let mut sum = 0u64;
+            for _ in 0..50_000 {
+                let (t, e) = cal.pop().expect("kept non-empty");
+                sum = sum.wrapping_add(e);
+                if e % 4 == 3 {
+                    // The hop chain ends; the next arrival is a timed event.
+                    cal.schedule(t + SimDuration(rng.uniform_u64(1, 1_000)), e & !3);
+                } else {
+                    // A zero-wire-time hop: same-instant follow-up.
+                    cal.schedule_now(e + 1);
+                }
+            }
+            black_box(sum)
+        })
+    });
+    // The same storm pushed through the heap (`schedule` at the current
+    // instant) instead of the FIFO microqueue — the cost the fast lane
+    // removes.
+    c.bench_function("calendar/same_instant_storm_heap_baseline", |b| {
+        b.iter(|| {
+            let mut cal = EventCalendar::new();
+            let mut rng = SimRng::from_seed(4);
+            for i in 0..64u64 {
+                cal.schedule(SimTime(i + 1), i * 4);
+            }
+            let mut sum = 0u64;
+            for _ in 0..50_000 {
+                let (t, e) = cal.pop().expect("kept non-empty");
+                sum = sum.wrapping_add(e);
+                if e % 4 == 3 {
+                    cal.schedule(t + SimDuration(rng.uniform_u64(1, 1_000)), e & !3);
+                } else {
+                    cal.schedule(t, e + 1);
+                }
+            }
+            black_box(sum)
+        })
+    });
 }
 
 fn lock_table(c: &mut Criterion) {
@@ -269,6 +319,26 @@ fn whole_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// Message-path cost end to end: a fully declustered run with zero think
+/// time, so nearly every simulated event is a cross-node message hop. The
+/// envelopes ride the simulator's recycled `Msg` freelist and the
+/// calendar's same-instant lane; this bench is the live number behind
+/// both.
+fn messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("messages");
+    group.sample_size(10);
+    group.bench_function("envelope_pool", |b| {
+        let mut config = Config::paper(Algorithm::TwoPhaseLocking, 8, 8, 0.0);
+        config.control.warmup_commits = 40;
+        config.control.measure_commits = 200;
+        b.iter(|| {
+            let r = run_config(black_box(config.clone())).expect("valid");
+            black_box(r.commits)
+        })
+    });
+    group.finish();
+}
+
 /// Observability overhead: the same 2PL whole-simulation run with phase
 /// statistics and event tracing enabled. Compare against
 /// `simulation_240_commits/2PL` — the gap is the tracing cost, and the
@@ -300,6 +370,7 @@ criterion_group!(
     cpu_model,
     cc_managers,
     whole_sim,
+    messages,
     whole_sim_traced
 );
 criterion_main!(benches);

@@ -54,6 +54,11 @@ pub struct BasicTimestampOrdering {
     /// is an allocate/free pair per transaction on the hot path.
     write_list_pool: Vec<Vec<(PageId, Ts)>>,
     page_list_pool: Vec<Vec<PageId>>,
+    /// Capacity floor for the per-transaction lists above (the most
+    /// accesses one transaction makes at this node, set by
+    /// [`CcManager::preallocate`]): growing each pooled list to the bound
+    /// on first use keeps steady-state pushes off the allocator.
+    list_capacity: usize,
     /// Scratch for the pages a finishing transaction touched.
     touched_scratch: Vec<PageId>,
 }
@@ -160,9 +165,14 @@ impl CcManager for BasicTimestampOrdering {
             let pos = state.pending_writes.partition_point(|(w, _)| *w < ts);
             state.pending_writes.insert(pos, (ts, txn.id));
             let pool = &mut self.write_list_pool;
+            let cap = self.list_capacity;
             self.txn_writes
                 .entry(txn.id)
-                .or_insert_with(|| pool.pop().unwrap_or_default())
+                .or_insert_with(|| {
+                    let mut list = pool.pop().unwrap_or_default();
+                    list.reserve(cap);
+                    list
+                })
                 .push((page, ts));
             AccessResponse::granted()
         } else {
@@ -173,15 +183,26 @@ impl CcManager for BasicTimestampOrdering {
             if state.min_pending_below(ts) {
                 state.blocked_reads.push((ts, txn.id));
                 let pool = &mut self.page_list_pool;
+                let cap = self.list_capacity;
                 self.txn_blocked
                     .entry(txn.id)
-                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .or_insert_with(|| {
+                        let mut list = pool.pop().unwrap_or_default();
+                        list.reserve(cap);
+                        list
+                    })
                     .push(page);
                 return AccessResponse::blocked();
             }
             state.rts = state.rts.max(ts);
             AccessResponse::granted()
         }
+    }
+
+    fn preallocate(&mut self, num_pages: usize, max_txn_accesses: usize) {
+        self.pages.reserve(num_pages);
+        self.list_capacity = max_txn_accesses;
+        self.touched_scratch.reserve(max_txn_accesses);
     }
 
     fn certify(&mut self, _txn: &TxnMeta, _commit_ts: Ts) -> bool {

@@ -87,6 +87,19 @@ pub struct LockTable {
     /// Retired per-transaction page-list buffers for `held`/`waiting`,
     /// recycled for the same reason.
     list_pool: Vec<Vec<PageId>>,
+    /// Capacity floor for per-transaction page lists (the most pages one
+    /// transaction can lock here, set by [`preallocate`]). Growing every
+    /// list to the bound on first use — instead of letting each recycled
+    /// buffer creep up by amortized doubling — makes the steady state
+    /// allocation-free.
+    ///
+    /// [`preallocate`]: LockTable::preallocate
+    list_capacity: usize,
+    /// Scratch for the pages touched by [`release_all`], which runs on every
+    /// commit and abort — without it each release allocates a fresh list.
+    ///
+    /// [`release_all`]: LockTable::release_all
+    touched_scratch: Vec<PageId>,
 }
 
 impl LockTable {
@@ -101,6 +114,35 @@ impl LockTable {
             barging: true,
             ..LockTable::default()
         }
+    }
+
+    /// Pre-size the page table for `num_pages` resident pages, with no
+    /// transaction locking more than `max_txn_accesses` of them (see
+    /// [`CcManager::preallocate`](crate::manager::CcManager::preallocate)).
+    ///
+    /// Besides reserving the map itself, this stocks the shell pool with one
+    /// [`PageLock`] per page, each with room for a few holders. At most
+    /// `num_pages` entries can be live at once, so the pool can never run
+    /// dry afterwards and the first grant on a fresh page entry stays off
+    /// the allocator.
+    pub fn preallocate(&mut self, num_pages: usize, max_txn_accesses: usize) {
+        self.pages.reserve(num_pages);
+        self.list_capacity = max_txn_accesses;
+        self.touched_scratch.reserve(2 * max_txn_accesses);
+        let target = num_pages.saturating_sub(self.pages.len());
+        while self.lock_pool.len() < target {
+            let mut shell = PageLock::default();
+            shell.holders.reserve(4);
+            self.lock_pool.push(shell);
+        }
+    }
+
+    /// A per-transaction page list from the pool, grown to the capacity
+    /// floor so later pushes cannot reallocate.
+    fn page_list(pool: &mut Vec<Vec<PageId>>, capacity: usize) -> Vec<PageId> {
+        let mut list = pool.pop().unwrap_or_default();
+        list.reserve(capacity);
+        list
     }
 
     /// Request a `mode` lock on `page` for `txn`.
@@ -149,9 +191,10 @@ impl LockTable {
             lock.grant(req);
             if !req.is_upgrade {
                 let list_pool = &mut self.list_pool;
+                let cap = self.list_capacity;
                 self.held
                     .entry(txn)
-                    .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                    .or_insert_with(|| LockTable::page_list(list_pool, cap))
                     .push(page);
             }
             LockOutcome::Granted
@@ -165,9 +208,10 @@ impl LockTable {
             }
             self.queued.insert(page);
             let list_pool = &mut self.list_pool;
+            let cap = self.list_capacity;
             self.waiting
                 .entry(txn)
-                .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                .or_insert_with(|| LockTable::page_list(list_pool, cap))
                 .push(page);
             LockOutcome::Queued
         }
@@ -176,7 +220,8 @@ impl LockTable {
     /// Release everything `txn` holds or waits for. Returns the requests
     /// granted as a consequence, in grant order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, PageId)> {
-        let mut touched: Vec<PageId> = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
         if let Some(mut pages) = self.held.remove(&txn) {
             for page in pages.drain(..) {
                 if let Some(lock) = self.pages.get_mut(&page) {
@@ -198,9 +243,10 @@ impl LockTable {
         touched.sort_unstable();
         touched.dedup();
         let mut granted = Vec::new();
-        for page in touched {
+        for &page in &touched {
             granted.extend(self.grant_from_queue(page));
         }
+        self.touched_scratch = touched;
         granted
     }
 
@@ -249,9 +295,10 @@ impl LockTable {
             lock.grant(head);
             if !head.is_upgrade {
                 let list_pool = &mut self.list_pool;
+                let cap = self.list_capacity;
                 self.held
                     .entry(head.txn)
-                    .or_insert_with(|| list_pool.pop().unwrap_or_default())
+                    .or_insert_with(|| LockTable::page_list(list_pool, cap))
                     .push(page);
             }
             if let Some(w) = self.waiting.get_mut(&head.txn) {

@@ -33,6 +33,17 @@ pub trait CcManager: Send {
     /// page is processed).
     fn request_access(&mut self, txn: &TxnMeta, page: PageId, write: bool) -> AccessResponse;
 
+    /// Pre-size per-page and per-transaction state for a node storing
+    /// `num_pages` pages where no transaction makes more than
+    /// `max_txn_accesses` accesses at this node. Called once at node
+    /// construction (and again on crash recovery, which rebuilds the
+    /// manager): growing tables and pooled buffers to their working-set
+    /// bounds up front keeps steady-state accesses off the allocator —
+    /// page entries churn constantly under the lock managers, and the
+    /// resulting tombstones otherwise force occasional mid-run
+    /// rehash-resizes (see `tests/alloc_steady_state.rs`).
+    fn preallocate(&mut self, _num_pages: usize, _max_txn_accesses: usize) {}
+
     /// Commit-time certification for this node's cohort, called during
     /// phase 1 of the commit protocol with the transaction's globally
     /// unique commit timestamp. Only OPT can fail; the lock-based and
@@ -50,6 +61,14 @@ pub trait CcManager: Send {
     /// detection. Empty for non-locking algorithms.
     fn waits_for_edges(&self) -> Vec<(TxnId, TxnId)> {
         Vec::new()
+    }
+
+    /// [`waits_for_edges`](Self::waits_for_edges), appended into a
+    /// caller-owned buffer so periodic detection rounds can reuse one
+    /// allocation. Locking managers override this with a straight
+    /// lock-table walk; the default (non-locking) case appends nothing.
+    fn waits_for_edges_into(&self, out: &mut Vec<(TxnId, TxnId)>) {
+        out.extend(self.waits_for_edges());
     }
 
     /// A lock-occupancy snapshot for observability, or `None` for

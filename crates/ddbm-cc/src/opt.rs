@@ -72,6 +72,10 @@ impl CcManager for OptimisticCertification {
         AccessResponse::granted()
     }
 
+    fn preallocate(&mut self, num_pages: usize, _max_txn_accesses: usize) {
+        self.pages.reserve(num_pages);
+    }
+
     fn certify(&mut self, txn: &TxnMeta, commit_ts: Ts) -> bool {
         let reads = self.reads.get(&txn.id).cloned().unwrap_or_default();
         let writes = self.writes.get(&txn.id).cloned().unwrap_or_default();

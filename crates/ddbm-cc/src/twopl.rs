@@ -130,6 +130,14 @@ impl CcManager for TwoPhaseLocking {
         self.table.waits_for_edges()
     }
 
+    fn waits_for_edges_into(&self, out: &mut Vec<(TxnId, TxnId)>) {
+        self.table.waits_for_edges_into(out);
+    }
+
+    fn preallocate(&mut self, num_pages: usize, max_txn_accesses: usize) {
+        self.table.preallocate(num_pages, max_txn_accesses);
+    }
+
     fn lock_stats(&self) -> Option<crate::manager::LockStats> {
         Some(crate::manager::LockStats {
             held: self.table.holding_txns(),

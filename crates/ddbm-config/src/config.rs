@@ -114,6 +114,18 @@ impl Config {
         )
     }
 
+    /// An upper bound on the page accesses one transaction can make at any
+    /// single node: every partition of one relation, at most
+    /// `max_pages_per_file` pages each, times the replication factor (each
+    /// write adds one access per extra replica). Used to pre-size
+    /// per-transaction buffers so the steady-state hot path stays off the
+    /// allocator (see `CcManager::preallocate`).
+    pub fn max_txn_accesses(&self) -> usize {
+        self.database.partitions_per_relation
+            * self.workload.max_pages_per_file as usize
+            * self.replication.factor
+    }
+
     /// The relation a terminal's transactions access: terminals are divided
     /// into equal groups, one group per relation (paper §4.1: 128 terminals
     /// in groups of 16).

@@ -1,0 +1,24 @@
+//! Profiling harness: the whole-sim bench config in a tight loop, for use
+//! with `gprofng collect app` (see EXPERIMENTS.md §Performance baseline).
+use ddbm_config::{Algorithm, Config};
+use ddbm_core::run_config;
+use std::time::Instant;
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    for algo in Algorithm::ALL {
+        for _ in 0..reps {
+            let mut config = Config::paper(algo, 8, 8, 4.0);
+            config.control.warmup_commits = 40;
+            config.control.measure_commits = 200;
+            let r = run_config(config).unwrap();
+            total += r.commits;
+        }
+    }
+    println!("commits={total} wall={:?}", t0.elapsed());
+}

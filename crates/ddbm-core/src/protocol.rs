@@ -360,3 +360,19 @@ pub enum Event {
     /// Boxed to keep the common event variants small.
     MsgArrive { msg: Box<Message> },
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calendar stores events inline in its heap, fast lane, and
+    /// prediction slots, so every extra word here is copied on each of the
+    /// millions of schedule/pop pairs in a run. `MsgArrive` boxes its
+    /// payload for exactly this reason. If this assertion fires, either
+    /// shrink the new variant (box large fields) or consciously accept the
+    /// cost and update the expected size.
+    #[test]
+    fn event_stays_32_bytes() {
+        assert_eq!(std::mem::size_of::<Event>(), 32);
+    }
+}

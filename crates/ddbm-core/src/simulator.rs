@@ -14,13 +14,15 @@ use crate::metrics::{MetricsCollector, PhaseCollector, RunReport};
 use crate::protocol::{AbortCause, CohortIdx, CpuJob, DiskJob, Event, Message, MsgKind, RunId};
 use crate::store::TxnStore;
 use crate::trace::{TraceEvent, TraceLog, Tracer};
-use crate::txn::{TxnPhase, TxnRuntime};
+use crate::txn::{CohortRun, TxnPhase, TxnRuntime};
 use crate::witness::{WitnessEvent, WitnessReply, WitnessStream};
-use crate::workload::{generate_template, materialize_replicated, TxnTemplate};
+use crate::workload::{
+    generate_template_into, materialize_replicated, route_identity_factor_one, TxnTemplate,
+};
 use ddbm_cc::{make_manager_with, resolve_deadlocks, AccessReply, CcManager, ReleaseResponse, Ts};
 use ddbm_config::{Algorithm, Config, ConfigError, FaultPlan, NodeId, Placement, TxnId};
 use ddbm_resource::{Cpu, DiskArray, LruPool};
-use denet::{EventCalendar, EventToken, SimDuration, SimRng, SimTime, WitnessLog};
+use denet::{EventCalendar, SimDuration, SimRng, SimTime, SlotId, WitnessLog};
 use std::rc::Rc;
 
 struct NodeState {
@@ -30,15 +32,18 @@ struct NodeState {
     /// Extension: per-node LRU buffer pool (capacity 0 = the paper's model,
     /// every read access does a disk I/O).
     buffer: LruPool<ddbm_config::PageId>,
-    /// The pending CPU completion event: its instant and the calendar token
-    /// that withdraws it. Every CPU state change re-predicts; if the instant
-    /// moved, the old event is *cancelled* and a fresh one scheduled, so
-    /// every `CpuPoll` that fires is the unique live prediction for this
-    /// node — no stale polls reach the handler, and the CPU is only ever
-    /// advanced to instants where something actually completes.
-    cpu_sched: Option<(SimTime, EventToken)>,
-    /// Same cancel-and-replace scheduling for the disk array.
-    disk_sched: Option<(SimTime, EventToken)>,
+    /// The pending CPU completion event lives in a calendar *prediction
+    /// slot*. Every CPU state change re-predicts; if the instant moved, the
+    /// slot is overwritten in place (an O(1) store — no heap traffic and no
+    /// tombstone), so every `CpuPoll` that fires is the unique live
+    /// prediction for this node — no stale polls reach the handler, and the
+    /// CPU is only ever advanced to instants where something actually
+    /// completes. Slot seq consumption mirrors the earlier
+    /// cancel-and-replace keyed scheduling exactly, so run reports stayed
+    /// bit-identical across the switch (see `denet::calendar` module docs).
+    cpu_slot: SlotId,
+    /// Same prediction-slot scheduling for the disk array.
+    disk_slot: SlotId,
     /// True while this node's CPU prediction awaits reconciliation with the
     /// calendar (it is listed in `Simulator::dirty_cpu`). A handler cascade
     /// can re-predict the same resource many times within one event; the
@@ -119,6 +124,36 @@ pub struct Simulator {
     dirty_cpu: Vec<NodeId>,
     /// Same deferral list for disk predictions.
     dirty_disk: Vec<NodeId>,
+    /// Recycled `Event::MsgArrive` envelopes. Only fault paths (drops,
+    /// delays, down receivers) box a message — fault-free traffic rides the
+    /// CPU message class unboxed — so with the pool even faulty steady-state
+    /// message traffic allocates nothing. The pool stores the `Box` itself
+    /// (not the `Message`): the recycled heap cell is the point, since
+    /// `Event::MsgArrive` needs a `Box<Message>` and re-boxing would
+    /// allocate.
+    #[allow(clippy::vec_box)]
+    msg_pool: Vec<Box<Message>>,
+    /// Per-relation cohort groups, precomputed at construction:
+    /// `Placement::cohort_groups` is placement-static but allocates per
+    /// call, and template generation needs it once per transaction.
+    cohort_groups: Vec<Vec<(NodeId, Vec<ddbm_config::FileId>)>>,
+    /// Freelist of uniquely-owned transaction plans. A committed
+    /// transaction's template (and, under replication, its logical plan)
+    /// returns here, and the next submission writes its fresh plan into the
+    /// recycled cohort/access vectors through `Rc::get_mut` — steady-state
+    /// admission allocates nothing.
+    tpl_pool: Vec<Rc<TxnTemplate>>,
+    /// Freelist of per-cohort progress vectors (`TxnRuntime::cohorts`).
+    cohort_pool: Vec<Vec<CohortRun>>,
+    /// Freelist of commit write-back page lists (`CpuJob::UpdateInit`),
+    /// recycled when the initiation chain issues its last disk write.
+    page_pool: Vec<Vec<ddbm_config::PageId>>,
+    /// Freelist of Snoop gather buffers (`MsgKind::SnoopReply` edge lists).
+    edge_pool: Vec<Vec<(TxnId, TxnId)>>,
+    /// Page-sampling scratch reused across template generations.
+    sample_scratch: Vec<usize>,
+    /// Node-liveness scratch reused across `materialize` calls.
+    route_up: Vec<bool>,
     rng_think: SimRng,
     rng_work: SimRng,
     rng_proc: SimRng,
@@ -178,21 +213,29 @@ impl Simulator {
         config.validate()?;
         let placement = config.placement().map_err(|e| ConfigError(e.to_string()))?;
         let seed = config.control.seed;
-        let nodes = config
+        let mut calendar = EventCalendar::new();
+        let mut nodes: Vec<NodeState> = config
             .node_ids()
             .map(|id| NodeState {
                 cpu: Cpu::new(config.system.cpu_rate(id)),
                 disks: DiskArray::new(config.system.num_disks),
                 cc: make_manager_with(config.algorithm, config.system.lock_barging),
                 buffer: LruPool::new(config.system.buffer_pages as usize),
-                cpu_sched: None,
-                disk_sched: None,
+                cpu_slot: calendar.register_slot(),
+                disk_slot: calendar.register_slot(),
                 cpu_dirty: false,
                 disk_dirty: false,
                 up: true,
                 epoch: 0,
             })
             .collect();
+        let files_per_node = placement.files_per_node(config.system.num_proc_nodes);
+        for (files, node) in files_per_node.iter().zip(&mut nodes[1..]) {
+            node.cc.preallocate(
+                files * config.database.pages_per_file as usize,
+                config.max_txn_accesses(),
+            );
+        }
         let faults_enabled = config.faults.any();
         let trace_phases = config.trace.phase_stats;
         let replication_on = config.replication.enabled();
@@ -216,9 +259,12 @@ impl Simulator {
             awaiting: 0,
             edges: Vec::new(),
         });
+        let cohort_groups = (0..config.database.num_relations)
+            .map(|rel| placement.cohort_groups(rel))
+            .collect();
         Ok(Simulator {
             placement,
-            calendar: EventCalendar::new(),
+            calendar,
             nodes,
             txns: TxnStore::new(),
             next_txn: 1,
@@ -226,6 +272,19 @@ impl Simulator {
             disk_bufs: Vec::new(),
             dirty_cpu: Vec::new(),
             dirty_disk: Vec::new(),
+            msg_pool: Vec::new(),
+            cohort_groups,
+            tpl_pool: Vec::new(),
+            cohort_pool: Vec::new(),
+            // Stocked up front at full capacity: the pool drains LIFO, so a
+            // rarely-reached depth would otherwise hand out a fresh buffer
+            // (and one allocation) long after warmup.
+            page_pool: (0..Self::POOL_CAP)
+                .map(|_| Vec::with_capacity(config.max_txn_accesses()))
+                .collect(),
+            edge_pool: Vec::new(),
+            sample_scratch: Vec::new(),
+            route_up: Vec::new(),
             rng_think: SimRng::derive(seed, "think"),
             rng_work: SimRng::derive(seed, "workload"),
             rng_proc: SimRng::derive(seed, "page-processing"),
@@ -427,27 +486,24 @@ impl Simulator {
         match ev {
             Event::TerminalSubmit { terminal } => self.submit_transaction(now, terminal),
             Event::CpuPoll { node } => {
-                // Superseded completions are withdrawn from the calendar, so
-                // a poll that fires is always the live prediction. Clear the
-                // token *before* touching the CPU: the completion handlers
-                // can recursively reschedule this node, and they must not
-                // cancel the event that is firing right now.
+                // Superseded predictions are overwritten in their slot, so a
+                // poll that fires is always the live prediction, and popping
+                // it vacated the slot — the handlers below can freely
+                // re-predict without clobbering the event firing right now.
                 debug_assert_eq!(
-                    self.nodes[node.0].cpu_sched.as_ref().map(|s| s.0),
-                    Some(now),
+                    self.calendar.slot_time(self.nodes[node.0].cpu_slot),
+                    None,
                     "a stale CpuPoll fired"
                 );
-                self.nodes[node.0].cpu_sched = None;
                 self.touch_cpu(now, node);
                 self.resched_cpu(now, node);
             }
             Event::DiskPoll { node } => {
                 debug_assert_eq!(
-                    self.nodes[node.0].disk_sched.as_ref().map(|s| s.0),
-                    Some(now),
+                    self.calendar.slot_time(self.nodes[node.0].disk_slot),
+                    None,
                     "a stale DiskPoll fired"
                 );
-                self.nodes[node.0].disk_sched = None;
                 self.touch_disks(now, node);
                 self.resched_disks(now, node);
             }
@@ -463,7 +519,22 @@ impl Simulator {
             Event::NodeUp { node } => self.on_node_up(now, node),
             Event::DiskStall { node, until } => self.on_disk_stall(now, node, until),
             Event::CohortTimeout { txn, run } => self.on_cohort_timeout(now, txn, run),
-            Event::MsgArrive { msg } => self.deliver_now(now, *msg),
+            Event::MsgArrive { mut msg } => {
+                // Take the contents and recycle the envelope (capped so a
+                // fault burst cannot grow the pool without bound).
+                let m = std::mem::replace(
+                    &mut *msg,
+                    Message {
+                        from: NodeId(0),
+                        to: NodeId(0),
+                        kind: MsgKind::SnoopPass,
+                    },
+                );
+                if self.msg_pool.len() < 64 {
+                    self.msg_pool.push(msg);
+                }
+                self.deliver_now(now, m);
+            }
         }
     }
 
@@ -522,6 +593,13 @@ impl Simulator {
         st.cpu.clear(now);
         st.disks.clear_all(now);
         st.cc = make_manager_with(self.config.algorithm, self.config.system.lock_barging);
+        let files = self
+            .placement
+            .files_per_node(self.config.system.num_proc_nodes)[node.0 - 1];
+        st.cc.preallocate(
+            files * self.config.database.pages_per_file as usize,
+            self.config.max_txn_accesses(),
+        );
         st.buffer = LruPool::new(self.config.system.buffer_pages as usize);
         if let Some(w) = &mut self.witness {
             w.push(now, WitnessEvent::NodeCrash { node });
@@ -760,45 +838,82 @@ impl Simulator {
         }
         let mut logical: Option<Rc<TxnTemplate>> = None;
         let mut unavailable = false;
-        let template: TxnTemplate = if let Some(script) = &mut self.script {
+        let template: Rc<TxnTemplate> = if self.script.is_some() {
             // Oracle replay: fixed templates in submission order; once the
             // script runs dry the terminal simply stops submitting. Scripted
             // templates are already physical (replica routing baked in at
             // recording time), so they are never re-materialized.
+            let script = self.script.as_mut().expect("checked above");
             let Some(t) = script.templates.get(script.next) else {
                 return;
             };
             script.next += 1;
-            t.clone()
+            let t = t.clone();
+            self.pooled_template(t)
         } else {
-            let l = generate_template(&self.config, &self.placement, &mut self.rng_work, terminal);
+            let relation = self.config.relation_of_terminal(terminal);
+            let mut tpl = self.take_template();
+            {
+                let out = Rc::get_mut(&mut tpl).expect("pooled template is uniquely owned");
+                let mut scratch = std::mem::take(&mut self.sample_scratch);
+                generate_template_into(
+                    &self.config,
+                    &self.cohort_groups[relation],
+                    relation,
+                    &mut self.rng_work,
+                    &mut scratch,
+                    out,
+                );
+                self.sample_scratch = scratch;
+            }
             if self.replication_on {
-                match self.materialize(&l) {
-                    Ok(t) => {
-                        logical = Some(Rc::new(l));
-                        t
+                if self.placement.factor() == 1 {
+                    // Interned replica routes: factor-1 routing is the
+                    // identity (see `route_identity_factor_one`), so the
+                    // logical plan *is* the physical plan — share one `Rc`
+                    // instead of re-materializing an identical copy per
+                    // submission.
+                    match route_identity_factor_one(&tpl, |n| self.nodes[n.0].up, &mut self.read_rr)
+                    {
+                        Ok(()) => {
+                            logical = Some(Rc::clone(&tpl));
+                            tpl
+                        }
+                        Err(_file) => {
+                            logical = Some(Rc::clone(&tpl));
+                            unavailable = true;
+                            tpl
+                        }
                     }
-                    Err(_file) => {
-                        // No live read/write replica set for some file: the
-                        // transaction aborts before doing any work and
-                        // retries after the usual restart delay.
-                        logical = Some(Rc::new(l.clone()));
-                        unavailable = true;
-                        l
+                } else {
+                    match self.materialize(&tpl) {
+                        Ok(t) => {
+                            logical = Some(tpl);
+                            self.pooled_template(t)
+                        }
+                        Err(_file) => {
+                            // No live read/write replica set for some file:
+                            // the transaction aborts before doing any work
+                            // and retries after the usual restart delay.
+                            logical = Some(Rc::clone(&tpl));
+                            unavailable = true;
+                            tpl
+                        }
                     }
                 }
             } else {
-                l
+                tpl
             }
         };
         if !unavailable {
             if let Some(log) = &mut self.template_log {
-                log.push(template.clone());
+                log.push((*template).clone());
             }
         }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let mut txn = TxnRuntime::new(id, terminal, template, now);
+        let cohorts = self.take_cohorts(template.cohorts.len());
+        let mut txn = TxnRuntime::with_cohorts(id, terminal, template, cohorts, now);
         txn.logical = logical;
         self.txns.insert(txn);
         if let Some(w) = &mut self.witness {
@@ -839,17 +954,103 @@ impl Simulator {
     }
 
     /// Replication: route a logical template onto the currently live
-    /// replicas (see [`materialize_replicated`]).
+    /// replicas (see [`materialize_replicated`]). Only reached at
+    /// replication factor > 1; factor-1 routing goes through the interned
+    /// identity fast path instead.
     fn materialize(&mut self, logical: &TxnTemplate) -> Result<TxnTemplate, ddbm_config::FileId> {
-        let up: Vec<bool> = self.nodes.iter().map(|n| n.up).collect();
-        materialize_replicated(
+        let mut up = std::mem::take(&mut self.route_up);
+        up.clear();
+        up.extend(self.nodes.iter().map(|n| n.up));
+        let routed = materialize_replicated(
             &self.config,
             &self.placement,
             logical,
             &up,
             &mut self.read_rr,
             self.hooks.skip_replica_write,
-        )
+        );
+        self.route_up = up;
+        routed
+    }
+
+    // ------------------------------------------------------------------
+    // Freelists: transaction plans, cohort-progress vectors, write-back
+    // page lists, and Snoop edge buffers all cycle through pools so the
+    // steady-state transaction lifecycle performs no heap allocation
+    // (pinned by `tests/alloc_steady_state.rs`).
+    // ------------------------------------------------------------------
+
+    /// Upper bound on each freelist; anything beyond the cap is genuinely
+    /// excess (pool high-water marks track live-transaction counts, which
+    /// the terminal population bounds).
+    const POOL_CAP: usize = 256;
+
+    /// A uniquely-owned plan from the freelist (or a fresh one); the caller
+    /// writes the new plan through `Rc::get_mut`, reusing the recycled
+    /// cohort/access vectors.
+    fn take_template(&mut self) -> Rc<TxnTemplate> {
+        self.tpl_pool.pop().unwrap_or_else(|| {
+            Rc::new(TxnTemplate {
+                relation: 0,
+                cohorts: Vec::new(),
+            })
+        })
+    }
+
+    /// Move `t` into a pooled `Rc`.
+    fn pooled_template(&mut self, t: TxnTemplate) -> Rc<TxnTemplate> {
+        let mut tpl = self.take_template();
+        *Rc::get_mut(&mut tpl).expect("pooled template is uniquely owned") = t;
+        tpl
+    }
+
+    /// Return a plan handle to the freelist if this was the last one.
+    fn put_template(&mut self, tpl: Rc<TxnTemplate>) {
+        if Rc::strong_count(&tpl) == 1 && self.tpl_pool.len() < Self::POOL_CAP {
+            self.tpl_pool.push(tpl);
+        }
+    }
+
+    /// A cleared cohort-progress vector of length `n` from the freelist.
+    fn take_cohorts(&mut self, n: usize) -> Vec<CohortRun> {
+        let mut v = self.cohort_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize_with(n, CohortRun::default);
+        v
+    }
+
+    fn put_cohorts(&mut self, mut v: Vec<CohortRun>) {
+        if self.cohort_pool.len() < Self::POOL_CAP {
+            v.clear();
+            self.cohort_pool.push(v);
+        }
+    }
+
+    fn put_edges(&mut self, mut v: Vec<(TxnId, TxnId)>) {
+        if self.edge_pool.len() < Self::POOL_CAP {
+            v.clear();
+            self.edge_pool.push(v);
+        }
+    }
+
+    /// Return a finished transaction's heap parts to the freelists. The
+    /// logical handle is dropped (or pooled) before the physical one, so a
+    /// factor-1 run sharing one plan `Rc` between the two sees the survivor
+    /// become uniquely owned and reusable.
+    fn recycle_txn(&mut self, txn: TxnRuntime) {
+        let TxnRuntime {
+            template,
+            logical,
+            cohorts,
+            ..
+        } = txn;
+        if let Some(l) = logical {
+            if !Rc::ptr_eq(&l, &template) {
+                self.put_template(l);
+            }
+        }
+        self.put_template(template);
+        self.put_cohorts(cohorts);
     }
 
     fn restart_txn(&mut self, now: SimTime, id: TxnId) {
@@ -897,18 +1098,38 @@ impl Simulator {
                 .get(id)
                 .and_then(|t| t.logical.as_ref().map(Rc::clone));
             if let Some(logical) = logical {
-                match self.materialize(&logical) {
-                    Ok(t) => {
-                        if let Some(txn) = self.txns.get_mut(id) {
-                            txn.replace_template(t);
-                        }
-                    }
-                    Err(_file) => {
+                if self.placement.factor() == 1 {
+                    // Interned route: the plan is already the identity
+                    // routing, so a restart only needs to re-check replica
+                    // availability (`begin_run` reset the cohorts above) —
+                    // no re-materialization, no template churn.
+                    if let Err(_file) = route_identity_factor_one(
+                        &logical,
+                        |n| self.nodes[n.0].up,
+                        &mut self.read_rr,
+                    ) {
                         if let Some(txn) = self.txns.get_mut(id) {
                             txn.abort_cause = Some(AbortCause::ReplicaUnavailable);
                         }
                         self.complete_abort(now, id);
                         return;
+                    }
+                } else {
+                    match self.materialize(&logical) {
+                        Ok(t) => {
+                            let t = self.pooled_template(t);
+                            let old = self.txns.get_mut(id).map(|txn| txn.replace_template(t));
+                            if let Some(old) = old {
+                                self.put_template(old);
+                            }
+                        }
+                        Err(_file) => {
+                            if let Some(txn) = self.txns.get_mut(id) {
+                                txn.abort_cause = Some(AbortCause::ReplicaUnavailable);
+                            }
+                            self.complete_abort(now, id);
+                            return;
+                        }
                     }
                 }
             }
@@ -1499,7 +1720,8 @@ impl Simulator {
             }
             MsgKind::AbortAck { txn, run, cohort } => self.on_abort_ack(now, txn, run, cohort),
             MsgKind::SnoopRequest { round } => {
-                let edges = self.nodes[node.0].cc.waits_for_edges();
+                let mut edges = self.edge_pool.pop().unwrap_or_default();
+                self.nodes[node.0].cc.waits_for_edges_into(&mut edges);
                 self.send(now, node, msg.from, MsgKind::SnoopReply { round, edges });
             }
             MsgKind::SnoopReply { round, edges } => self.on_snoop_reply(now, node, round, edges),
@@ -1695,14 +1917,21 @@ impl Simulator {
         let txn = self.txns.get(id).expect("checked above");
         if commit {
             // Only the commit path needs the write set; read-only cohorts
-            // and aborts build nothing (`collect` on an empty filter does
-            // not allocate either).
-            let pages: Vec<ddbm_config::PageId> = txn.template.cohorts[cohort]
-                .accesses
-                .iter()
-                .filter(|a| a.write)
-                .map(|a| a.page)
-                .collect();
+            // and aborts build nothing. The list comes from the page-list
+            // freelist (recycled when the write-back chain issues its last
+            // disk write), so steady-state commits allocate nothing.
+            let mut pages = self.page_pool.pop().unwrap_or_default();
+            // Grow straight to the workload bound: letting each recycled
+            // buffer creep up by amortized doubling would reallocate long
+            // after warmup.
+            pages.reserve(self.config.max_txn_accesses());
+            pages.extend(
+                txn.template.cohorts[cohort]
+                    .accesses
+                    .iter()
+                    .filter(|a| a.write)
+                    .map(|a| a.page),
+            );
             // Record installs *before* releasing locks: a release can grant
             // a waiter at this same instant, and its read must sequence
             // after these writes.
@@ -1755,6 +1984,8 @@ impl Simulator {
                     },
                     instr,
                 );
+            } else if self.page_pool.len() < Self::POOL_CAP {
+                self.page_pool.push(pages);
             }
         } else {
             if let Some(w) = &mut self.witness {
@@ -1845,6 +2076,7 @@ impl Simulator {
                 terminal: txn.terminal,
             },
         );
+        self.recycle_txn(txn);
         self.check_progress(now);
     }
 
@@ -2006,20 +2238,24 @@ impl Simulator {
         if !self.nodes[node.0].up {
             return; // the crash handler already moved the role elsewhere
         }
-        snoop.edges = self.nodes[node.0].cc.waits_for_edges();
+        snoop.edges.clear();
+        self.nodes[node.0].cc.waits_for_edges_into(&mut snoop.edges);
         // Every *live* processing node except the Snoop itself; crashed nodes
         // have no lock tables to report (and could not answer anyway).
-        let others: Vec<NodeId> = (1..self.nodes.len())
+        let others = (1..self.nodes.len())
             .map(NodeId)
             .filter(|n| *n != node && self.nodes[n.0].up)
-            .collect();
-        if others.is_empty() {
+            .count();
+        if others == 0 {
             self.finish_detection(now, node);
             return;
         }
-        self.snoop.as_mut().expect("snoop exists").awaiting = others.len();
-        for other in others {
-            self.send(now, node, other, MsgKind::SnoopRequest { round });
+        self.snoop.as_mut().expect("snoop exists").awaiting = others;
+        for i in 1..self.nodes.len() {
+            let other = NodeId(i);
+            if other != node && self.nodes[i].up {
+                self.send(now, node, other, MsgKind::SnoopRequest { round });
+            }
         }
     }
 
@@ -2028,17 +2264,18 @@ impl Simulator {
         now: SimTime,
         node: NodeId,
         round: u64,
-        edges: Vec<(TxnId, TxnId)>,
+        mut edges: Vec<(TxnId, TxnId)>,
     ) {
-        let Some(snoop) = &mut self.snoop else {
-            return;
-        };
-        if snoop.round != round || snoop.current != node || snoop.awaiting == 0 {
-            return;
+        let mut finish = false;
+        if let Some(snoop) = &mut self.snoop {
+            if snoop.round == round && snoop.current == node && snoop.awaiting > 0 {
+                snoop.edges.append(&mut edges);
+                snoop.awaiting -= 1;
+                finish = snoop.awaiting == 0;
+            }
         }
-        snoop.edges.extend(edges);
-        snoop.awaiting -= 1;
-        if snoop.awaiting == 0 {
+        self.put_edges(edges);
+        if finish {
             self.finish_detection(now, node);
         }
     }
@@ -2083,6 +2320,10 @@ impl Simulator {
         let snoop = self.snoop.as_mut().expect("2PL only");
         snoop.round += 1;
         snoop.current = next;
+        // Hand the gather buffer (with its capacity) back for the next
+        // round; `std::mem::take` above left an empty placeholder.
+        edges.clear();
+        snoop.edges = edges;
         if next == node {
             // Single processing node: keep the role, schedule the next wake.
             let round = snoop.round;
@@ -2129,30 +2370,24 @@ impl Simulator {
     }
 
     /// Re-predict the node's next CPU completion and make the calendar agree:
-    /// unchanged predictions keep their event, moved ones cancel the old
-    /// event and schedule a replacement, vanished ones just cancel.
+    /// unchanged predictions keep their slot entry, moved ones overwrite it
+    /// in place, vanished ones clear the slot. Only a *changed* prediction
+    /// consumes a calendar sequence number — the same consumption pattern as
+    /// the cancel-and-replace keyed scheduling this replaced, which is what
+    /// keeps run reports bit-identical (see `denet::calendar` module docs).
     fn flush_resched_cpu(&mut self, node: NodeId) {
         if let Some(tr) = &mut self.tracer {
             let busy = !self.nodes[node.0].cpu.is_idle();
             tr.note_cpu(self.calendar.now(), node, busy);
         }
-        let state = &mut self.nodes[node.0];
-        match state.cpu.next_completion() {
+        let slot = self.nodes[node.0].cpu_slot;
+        match self.nodes[node.0].cpu.next_completion() {
             Some(at) => {
-                if state.cpu_sched.as_ref().is_some_and(|s| s.0 == at) {
-                    return; // prediction unchanged; event already pending
-                }
-                if let Some((_, tok)) = state.cpu_sched.take() {
-                    self.calendar.cancel(tok);
-                }
-                let tok = self.calendar.schedule_keyed(at, Event::CpuPoll { node });
-                self.nodes[node.0].cpu_sched = Some((at, tok));
-            }
-            None => {
-                if let Some((_, tok)) = state.cpu_sched.take() {
-                    self.calendar.cancel(tok);
+                if self.calendar.slot_time(slot) != Some(at) {
+                    self.calendar.set_slot(slot, at, Event::CpuPoll { node });
                 }
             }
+            None => self.calendar.clear_slot(slot),
         }
     }
 
@@ -2172,6 +2407,9 @@ impl Simulator {
     }
 
     fn touch_disks(&mut self, now: SimTime, node: NodeId) {
+        if self.nodes[node.0].disks.is_current(now) {
+            return; // nothing in service can have completed by `now`
+        }
         let mut buf = self.disk_bufs.pop().unwrap_or_default();
         self.nodes[node.0].disks.advance_into(now, &mut buf);
         for job in buf.drain(..) {
@@ -2196,23 +2434,14 @@ impl Simulator {
             let busy = self.nodes[node.0].disks.any_busy();
             tr.note_disk(self.calendar.now(), node, busy);
         }
-        let state = &mut self.nodes[node.0];
-        match state.disks.next_completion() {
+        let slot = self.nodes[node.0].disk_slot;
+        match self.nodes[node.0].disks.next_completion() {
             Some(at) => {
-                if state.disk_sched.as_ref().is_some_and(|s| s.0 == at) {
-                    return;
-                }
-                if let Some((_, tok)) = state.disk_sched.take() {
-                    self.calendar.cancel(tok);
-                }
-                let tok = self.calendar.schedule_keyed(at, Event::DiskPoll { node });
-                self.nodes[node.0].disk_sched = Some((at, tok));
-            }
-            None => {
-                if let Some((_, tok)) = state.disk_sched.take() {
-                    self.calendar.cancel(tok);
+                if self.calendar.slot_time(slot) != Some(at) {
+                    self.calendar.set_slot(slot, at, Event::DiskPoll { node });
                 }
             }
+            None => self.calendar.clear_slot(slot),
         }
     }
 
@@ -2262,19 +2491,34 @@ impl Simulator {
             let f = &self.config.faults;
             if f.msg_drop_prob > 0.0 && self.rng_fault.bernoulli(f.msg_drop_prob) {
                 self.metrics.faults.msgs_dropped += 1;
+                let retry = f.msg_retry;
+                let msg = self.boxed_msg(msg);
                 self.calendar
-                    .schedule_after(f.msg_retry, Event::MsgArrive { msg: Box::new(msg) });
+                    .schedule_after(retry, Event::MsgArrive { msg });
                 return;
             }
             if f.msg_delay_prob > 0.0 && self.rng_fault.bernoulli(f.msg_delay_prob) {
                 self.metrics.faults.msgs_delayed += 1;
                 let extra = SimDuration(self.rng_fault.uniform_u64(1, f.msg_delay_max.0.max(1)));
+                let msg = self.boxed_msg(msg);
                 self.calendar
-                    .schedule_after(extra, Event::MsgArrive { msg: Box::new(msg) });
+                    .schedule_after(extra, Event::MsgArrive { msg });
                 return;
             }
         }
         self.deliver_now(now, msg);
+    }
+
+    /// Box a message for an `Event::MsgArrive` envelope, reusing a recycled
+    /// envelope when one is pooled.
+    fn boxed_msg(&mut self, msg: Message) -> Box<Message> {
+        match self.msg_pool.pop() {
+            Some(mut b) => {
+                *b = msg;
+                b
+            }
+            None => Box::new(msg),
+        }
     }
 
     /// Deliver unconditionally — unless the receiver is crashed, in which
@@ -2285,10 +2529,10 @@ impl Simulator {
         let to = msg.to;
         if !self.nodes[to.0].up {
             self.metrics.faults.msgs_to_down_node += 1;
-            self.calendar.schedule_after(
-                self.config.faults.msg_retry,
-                Event::MsgArrive { msg: Box::new(msg) },
-            );
+            let retry = self.config.faults.msg_retry;
+            let msg = self.boxed_msg(msg);
+            self.calendar
+                .schedule_after(retry, Event::MsgArrive { msg });
             return;
         }
         let instr = self.config.system.inst_per_msg as f64;
@@ -2353,6 +2597,11 @@ impl Simulator {
                         },
                         instr,
                     );
+                } else if self.page_pool.len() < Self::POOL_CAP {
+                    // Last initiation of the chain: recycle the page list.
+                    let mut pages = pages;
+                    pages.clear();
+                    self.page_pool.push(pages);
                 }
             }
             CpuJob::MsgSend(msg) => self.deliver(now, msg),

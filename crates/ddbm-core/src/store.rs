@@ -34,7 +34,11 @@ impl TxnStore {
     pub fn insert(&mut self, txn: TxnRuntime) {
         let id = txn.id.0 as usize;
         if id >= self.index.len() {
-            self.index.resize(id + 1, 0);
+            // Grow the id table in large strides (64 KiB of ids at a time)
+            // rather than per insert, so steady-state transaction turnover
+            // allocates nothing — the zero-allocation pin in
+            // `tests/alloc_steady_state.rs` rides on this.
+            self.index.resize((id + 1).next_multiple_of(1 << 14), 0);
         }
         debug_assert_eq!(self.index[id], 0, "duplicate insert of {:?}", txn.id);
         let slot = match self.free.pop() {
@@ -123,10 +127,10 @@ mod tests {
         TxnRuntime::new(
             TxnId(id),
             0,
-            TxnTemplate {
+            std::rc::Rc::new(TxnTemplate {
                 relation: 0,
                 cohorts: Vec::new(),
-            },
+            }),
             SimTime(id),
         )
     }

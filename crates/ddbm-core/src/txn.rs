@@ -182,12 +182,26 @@ pub struct TxnRuntime {
 
 impl TxnRuntime {
     /// A freshly submitted transaction beginning run 1 at `now`.
-    pub fn new(id: TxnId, terminal: usize, template: TxnTemplate, now: SimTime) -> TxnRuntime {
+    pub fn new(id: TxnId, terminal: usize, template: Rc<TxnTemplate>, now: SimTime) -> TxnRuntime {
         let cohorts = vec![CohortRun::default(); template.cohorts.len()];
+        TxnRuntime::with_cohorts(id, terminal, template, cohorts, now)
+    }
+
+    /// Like [`new`](Self::new), but reusing a caller-supplied (pooled)
+    /// per-cohort progress vector. The vector must already hold exactly one
+    /// default `CohortRun` per template cohort.
+    pub fn with_cohorts(
+        id: TxnId,
+        terminal: usize,
+        template: Rc<TxnTemplate>,
+        cohorts: Vec<CohortRun>,
+        now: SimTime,
+    ) -> TxnRuntime {
+        debug_assert_eq!(cohorts.len(), template.cohorts.len());
         TxnRuntime {
             id,
             terminal,
-            template: Rc::new(template),
+            template,
             logical: None,
             origin: now,
             run: 1,
@@ -234,12 +248,14 @@ impl TxnRuntime {
 
     /// Replication: install a freshly materialized physical plan for the
     /// current run (replica routing can differ run to run as nodes crash
-    /// and recover), rebuilding the per-cohort progress to match.
-    pub fn replace_template(&mut self, template: TxnTemplate) {
+    /// and recover), rebuilding the per-cohort progress to match. Returns
+    /// the superseded plan so the caller can recycle it.
+    pub fn replace_template(&mut self, template: Rc<TxnTemplate>) -> Rc<TxnTemplate> {
         let n = template.cohorts.len();
-        self.template = Rc::new(template);
+        let old = std::mem::replace(&mut self.template, template);
         self.cohorts.clear();
         self.cohorts.resize_with(n, CohortRun::default);
+        old
     }
 
     /// Observability: charge the time since `phase_since` to the current
@@ -318,7 +334,7 @@ mod tests {
 
     #[test]
     fn new_txn_starts_executing() {
-        let t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         assert_eq!(t.phase, TxnPhase::Executing);
         assert_eq!(t.run, 1);
         assert_eq!(t.cohorts.len(), 2);
@@ -328,7 +344,7 @@ mod tests {
 
     #[test]
     fn meta_uses_origin_and_run_start() {
-        let mut t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let mut t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         let m1 = t.meta();
         assert_eq!(m1.initial_ts, Ts::new(100, TxnId(1)));
         assert_eq!(m1.run_ts, Ts::new(100, TxnId(1)));
@@ -345,7 +361,7 @@ mod tests {
 
     #[test]
     fn begin_run_resets_cohorts() {
-        let mut t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let mut t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         t.cohorts[0].loaded = true;
         t.cohorts[0].done = true;
         t.phase = TxnPhase::Aborting;
@@ -356,7 +372,7 @@ mod tests {
 
     #[test]
     fn cohort_lookup_by_node() {
-        let t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         assert_eq!(t.cohort_at(NodeId(1)), Some(0));
         assert_eq!(t.cohort_at(NodeId(2)), Some(1));
         assert_eq!(t.cohort_at(NodeId(3)), None);
@@ -364,7 +380,7 @@ mod tests {
 
     #[test]
     fn phase_clock_partitions_lifetime_exactly() {
-        let mut t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let mut t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         t.phase_clock(SimTime(150)); // 50 ns Execute
         t.blocked_cohorts = 1;
         t.phase_clock(SimTime(170)); // 20 ns LockWait
@@ -412,7 +428,7 @@ mod tests {
 
     #[test]
     fn wound_immunity_only_in_commit_phase_two() {
-        let mut t = TxnRuntime::new(TxnId(1), 5, template(), SimTime(100));
+        let mut t = TxnRuntime::new(TxnId(1), 5, Rc::new(template()), SimTime(100));
         for (phase, immune) in [
             (TxnPhase::Executing, false),
             (TxnPhase::Preparing, false),

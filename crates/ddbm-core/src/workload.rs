@@ -73,23 +73,49 @@ pub fn generate_template(
     terminal: usize,
 ) -> TxnTemplate {
     let relation = config.relation_of_terminal(terminal);
-    let mut cohorts: Vec<CohortSpec> = placement
-        .cohort_groups(relation)
-        .into_iter()
-        .map(|(node, files)| {
-            let mut accesses = Vec::new();
-            for file in files {
-                push_file_accesses(config, rng, file, &mut accesses);
-            }
-            CohortSpec { node, accesses }
-        })
-        .collect();
+    let groups = placement.cohort_groups(relation);
+    let mut out = TxnTemplate {
+        relation,
+        cohorts: Vec::new(),
+    };
+    generate_template_into(config, &groups, relation, rng, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`generate_template`] into a caller-owned (pooled) template, against
+/// precomputed cohort groups. `Placement::cohort_groups` is placement-static
+/// but allocates per call, so the simulator computes it once per relation;
+/// `pages_scratch` is the page-sampling buffer reused across files. Draws
+/// the identical RNG sequence and produces the identical plan as
+/// [`generate_template`], but a steady-state caller allocates nothing.
+pub fn generate_template_into(
+    config: &Config,
+    groups: &[(NodeId, Vec<FileId>)],
+    relation: usize,
+    rng: &mut SimRng,
+    pages_scratch: &mut Vec<usize>,
+    out: &mut TxnTemplate,
+) {
+    out.relation = relation;
+    out.cohorts.truncate(groups.len());
+    while out.cohorts.len() < groups.len() {
+        out.cohorts.push(CohortSpec {
+            node: NodeId(0),
+            accesses: Vec::new(),
+        });
+    }
+    for (slot, (node, files)) in out.cohorts.iter_mut().zip(groups) {
+        slot.node = *node;
+        slot.accesses.clear();
+        for file in files {
+            push_file_accesses(config, rng, *file, pages_scratch, &mut slot.accesses);
+        }
+    }
     // Guard against degenerate configs that leave a cohort with zero
     // accesses (cannot happen with min_pages >= 1, but keep the invariant
     // explicit for the simulator's all-cohorts-report protocol).
-    cohorts.retain(|c| !c.accesses.is_empty());
-    debug_assert_eq!(cohorts.len(), config.database.declustering_degree);
-    TxnTemplate { relation, cohorts }
+    out.cohorts.retain(|c| !c.accesses.is_empty());
+    debug_assert_eq!(out.cohorts.len(), config.database.declustering_degree);
 }
 
 /// Route a logical (single-copy) template onto a replicated machine.
@@ -176,15 +202,65 @@ pub fn materialize_replicated(
     })
 }
 
-fn push_file_accesses(config: &Config, rng: &mut SimRng, file: FileId, out: &mut Vec<Access>) {
+/// Replica-route interning for factor-1 machines.
+///
+/// At replication factor 1 every file has exactly one replica — its primary
+/// — so [`materialize_replicated`] is the identity whenever every cohort
+/// node is up: each file's read and write sets are both `[primary]`, and
+/// the per-access expansion reproduces the logical cohorts verbatim (both
+/// sides keep cohorts in ascending node order and accesses in generation
+/// order; `factor_one_materialization_is_the_identity` pins this). Callers
+/// therefore skip materialization entirely at factor 1 and share the
+/// logical plan `Rc` as the physical plan, only advancing the read cursor
+/// by the number of distinct files to mirror the slow path's cursor
+/// consumption. Returns the first file routed to a down node — the same
+/// file the slow path would report — so availability behavior is unchanged.
+pub fn route_identity_factor_one(
+    logical: &TxnTemplate,
+    node_up: impl Fn(NodeId) -> bool,
+    read_rr: &mut u64,
+) -> Result<(), FileId> {
+    for spec in &logical.cohorts {
+        if !node_up(spec.node) {
+            return Err(spec.accesses[0].page.file);
+        }
+    }
+    *read_rr += distinct_files(logical) as u64;
+    Ok(())
+}
+
+/// Number of distinct files a template touches. `generate_template` pushes
+/// each file's accesses contiguously and no file spans cohorts, so counting
+/// run transitions within each cohort suffices — no set, no allocation.
+fn distinct_files(t: &TxnTemplate) -> usize {
+    let mut n = 0;
+    for c in &t.cohorts {
+        let mut last = None;
+        for a in &c.accesses {
+            if last != Some(a.page.file) {
+                n += 1;
+                last = Some(a.page.file);
+            }
+        }
+    }
+    n
+}
+
+fn push_file_accesses(
+    config: &Config,
+    rng: &mut SimRng,
+    file: FileId,
+    pages: &mut Vec<usize>,
+    out: &mut Vec<Access>,
+) {
     let w = &config.workload;
     let n = rng.uniform_u64(w.min_pages_per_file, w.max_pages_per_file) as usize;
-    let pages = rng.sample_distinct(config.database.pages_per_file as usize, n);
-    for p in pages {
+    rng.sample_distinct_into(config.database.pages_per_file as usize, n, pages);
+    for p in pages.iter() {
         out.push(Access {
             page: PageId {
                 file,
-                page: p as u64,
+                page: *p as u64,
             },
             write: rng.bernoulli(w.write_prob),
         });
@@ -284,6 +360,61 @@ mod tests {
             .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 64.0).abs() < 2.0, "mean accesses {mean}");
+    }
+
+    #[test]
+    fn generate_template_into_matches_and_reuses_buffers() {
+        let (c, p, mut rng_a) = setup(8, 8);
+        let mut rng_b = SimRng::from_seed(42);
+        let groups = p.cohort_groups(0);
+        let mut out = TxnTemplate {
+            relation: 0,
+            cohorts: Vec::new(),
+        };
+        let mut scratch = Vec::new();
+        for term in [0usize, 3, 7, 11] {
+            let reference = generate_template(&c, &p, &mut rng_a, term % 16);
+            generate_template_into(&c, &groups, 0, &mut rng_b, &mut scratch, &mut out);
+            assert_eq!(out, reference, "terminal {term}");
+        }
+    }
+
+    #[test]
+    fn factor_one_materialization_is_the_identity() {
+        let (mut c, _, mut rng) = setup(8, 8);
+        c.replication = ddbm_config::ReplicationParams::rowa(1);
+        let p = c.placement().unwrap();
+        let up = vec![true; 9];
+        for term in 0..32 {
+            let logical = generate_template(&c, &p, &mut rng, term % 128);
+            let (mut rr_slow, mut rr_fast) = (5u64, 5u64);
+            let phys = materialize_replicated(&c, &p, &logical, &up, &mut rr_slow, false).unwrap();
+            assert_eq!(phys, logical, "factor-1 routing must be the identity");
+            route_identity_factor_one(&logical, |n| up[n.0], &mut rr_fast).unwrap();
+            assert_eq!(
+                rr_slow, rr_fast,
+                "interned route must consume the read cursor like the slow path"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_one_down_node_errs_like_the_slow_path() {
+        let (mut c, _, mut rng) = setup(8, 8);
+        c.replication = ddbm_config::ReplicationParams::rowa(1);
+        let p = c.placement().unwrap();
+        let mut up = vec![true; 9];
+        up[3] = false;
+        let mut found = false;
+        for term in 0..32 {
+            let logical = generate_template(&c, &p, &mut rng, term % 128);
+            let (mut rr_slow, mut rr_fast) = (0u64, 0u64);
+            let slow = materialize_replicated(&c, &p, &logical, &up, &mut rr_slow, false);
+            let fast = route_identity_factor_one(&logical, |n| up[n.0], &mut rr_fast);
+            assert_eq!(slow.err(), fast.err(), "terminal {term}");
+            found |= fast.is_err();
+        }
+        assert!(found, "no template touched the down node");
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod table;
 
 pub use chart::{render, ChartSize};
 pub use profile::Profile;
-pub use runner::Runner;
+pub use runner::{map_parallel, Runner};
 pub use table::{FigureResult, Series};

@@ -82,34 +82,42 @@ impl OracleCell {
     }
 }
 
-/// Run the full grid over `seeds`, sequentially and deterministically.
+/// Run the full grid over `seeds`, fanning the independent cells out
+/// across all cores. Every cell is its own deterministic simulation, so
+/// parallelism changes nothing about the verdicts, and results come back
+/// in the fixed replication × algorithm × seed grid order regardless of
+/// which worker finished first.
 pub fn verify_grid(seeds: &[u64]) -> Vec<OracleCell> {
-    let replications = grid_replications();
-    let mut cells = Vec::with_capacity(ORACLE_GRID.len() * seeds.len() * replications.len());
-    for &(label, replication) in &replications {
+    let mut grid = Vec::with_capacity(ORACLE_GRID.len() * seeds.len() * grid_replications().len());
+    for &(label, replication) in &grid_replications() {
         for &algorithm in &ORACLE_GRID {
             for &seed in seeds {
-                let mut config = oracle_config(algorithm, seed);
-                config.replication = replication;
-                let (rec, report) = run_and_check(config, None, TestHooks::default())
-                    .expect("grid config is valid");
-                cells.push(OracleCell {
-                    algorithm,
-                    seed,
-                    replication: label,
-                    events: report.events,
-                    violations: report.total_violations,
-                    overflow: rec.witness_overflow,
-                    detail: if report.clean() {
-                        String::new()
-                    } else {
-                        report.render()
-                    },
-                });
+                grid.push((label, replication, algorithm, seed));
             }
         }
     }
-    cells
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    crate::runner::map_parallel(threads, &grid, |&(label, replication, algorithm, seed)| {
+        let mut config = oracle_config(algorithm, seed);
+        config.replication = replication;
+        let (rec, report) =
+            run_and_check(config, None, TestHooks::default()).expect("grid config is valid");
+        OracleCell {
+            algorithm,
+            seed,
+            replication: label,
+            events: report.events,
+            violations: report.total_violations,
+            overflow: rec.witness_overflow,
+            detail: if report.clean() {
+                String::new()
+            } else {
+                report.render()
+            },
+        }
+    })
 }
 
 #[cfg(test)]

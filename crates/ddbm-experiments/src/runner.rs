@@ -220,31 +220,44 @@ impl Runner {
     /// input order. Duplicates within the batch are handled by `run`'s
     /// single-flight cache, so no pre-deduplication is needed.
     pub fn run_all(&self, configs: &[Config]) -> Vec<RunReport> {
-        let slots: Vec<Mutex<Option<RunReport>>> =
-            configs.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(configs.len()) {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= configs.len() {
-                        break;
-                    }
-                    let report = self.run(&configs[k]);
-                    *slots[k].lock().unwrap() = Some(report);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("every slot filled"))
-            .collect()
+        map_parallel(self.threads, configs, |config| self.run(config))
     }
 
     /// Number of simulations actually executed (not cache hits).
     pub fn executed(&self) -> usize {
         self.completed.load(Ordering::Relaxed)
     }
+}
+
+/// Apply `f` to every item on up to `threads` OS threads, returning the
+/// results in input order. Workers claim items through a shared atomic
+/// index, so an expensive item never blocks the queue behind it. Each item
+/// is processed exactly once; a panic in `f` propagates when the scope
+/// joins.
+pub fn map_parallel<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= items.len() {
+                    break;
+                }
+                let result = f(&items[k]);
+                *slots[k].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .collect()
 }
 
 /// Streamed 128-bit FNV-1a over a serialized value tree. Kind tags keep

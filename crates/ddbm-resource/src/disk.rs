@@ -246,6 +246,19 @@ impl<T> DiskArray<T> {
         self.disks.iter().filter_map(Disk::next_completion).min()
     }
 
+    /// True when advancing the array to `now` would complete nothing:
+    /// every in-service request (if any) finishes strictly after `now`.
+    /// Poll handlers use this as a fast lane to skip the per-disk advance
+    /// sweep — queued requests only start when an in-service one finishes,
+    /// so a completion-free advance is a no-op.
+    #[inline]
+    pub fn is_current(&self, now: SimTime) -> bool {
+        self.disks
+            .iter()
+            .filter_map(Disk::next_completion)
+            .all(|t| t > now)
+    }
+
     /// True while any disk in the array has a request in service.
     #[inline]
     pub fn any_busy(&self) -> bool {

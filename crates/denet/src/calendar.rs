@@ -59,13 +59,56 @@
 //! withdraw a superseded completion prediction outright instead of letting
 //! the event fire and filtering it at the handler.
 //!
+//! # Same-instant fast lane
+//!
+//! Zero-delay events ([`schedule_now`](EventCalendar::schedule_now), and
+//! [`schedule_after`](EventCalendar::schedule_after) with a zero delay) skip
+//! the heap entirely: they are appended to a FIFO microqueue keyed with the
+//! same packed `(time, seq)` key a heap push would have assigned. Because
+//! both `now` and `seq` are monotone, the microqueue's keys are strictly
+//! increasing, so its front is always its minimum and [`pop`]
+//! (EventCalendar::pop) only ever compares the front key against the other
+//! sources. Delivery order is *provably identical* to routing the same
+//! events through the heap: every event still receives the globally unique
+//! packed key it would have received from `push`, and `pop` always delivers
+//! the minimum key across all sources — only the container holding the
+//! entry changes, never its position in the total order. (The fast lane is
+//! O(1) per event instead of O(log n) sift + O(log n) pop.)
+//!
+//! # Prediction slots
+//!
+//! The simulator's dominant calendar traffic is *completion predictions*:
+//! one pending "next CPU/disk completion" event per node resource,
+//! re-predicted on almost every state change. Routed through the heap this
+//! costs a keyed push, a lazy cancel (tombstone) and a pop-discard per
+//! superseded prediction — historically ~25–30% of all scheduled events
+//! were cancelled tombstones. A [`register_slot`]
+//! (EventCalendar::register_slot) slot holds at most one pending event in a
+//! flat array instead: [`set_slot`](EventCalendar::set_slot) overwrites in
+//! place (an O(1) store, superseding needs no tombstone) and `pop` finds the
+//! earliest slot with a linear scan over a dense key array — a handful of
+//! cache lines for the simulator's ~2 slots/node, cheaper than the sift
+//! traffic it replaces.
+//!
+//! **Determinism:** `set_slot` assigns `seq = next_seq++` exactly as a heap
+//! push does, and the cancel+reschedule pattern it replaces consumed one seq
+//! per *changed* prediction and zero per kept or withdrawn one — precisely
+//! the seq consumption of calling `set_slot` only when the prediction
+//! changes. A simulator switched from cancel+reschedule to slots therefore
+//! evolves an identical `next_seq`, assigns every event the identical packed
+//! key, and (since `pop` delivers the global key minimum regardless of the
+//! source container) produces a bit-identical pop sequence. The golden
+//! `RunReport`s did not move when the simulator switched; the equivalence is
+//! also pinned by `slots_match_cancel_reschedule_reference` below and by the
+//! proptest suite in `tests/prop.rs`.
+//!
 //! All backing storage retains its capacity across pops, so a warmed-up
 //! calendar schedules without allocating.
 
 use crate::fxhash::FxHashSet;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::mem::ManuallyDrop;
 use std::ptr;
 
@@ -111,6 +154,25 @@ struct Entry<E> {
     event: E,
 }
 
+/// Handle to a *prediction slot* registered with
+/// [`register_slot`](EventCalendar::register_slot): a stable cell holding at
+/// most one pending event, overwritten in place by
+/// [`set_slot`](EventCalendar::set_slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId(u32);
+
+/// Sentinel key for a vacant slot. No real key can reach it: it would
+/// require both `SimTime(u64::MAX)` and a sequence number of `u64::MAX`.
+const VACANT: u128 = u128::MAX;
+
+/// Which container holds the minimum-key candidate during a `pop`.
+#[derive(Clone, Copy)]
+enum Source {
+    Heap,
+    Fast,
+    Slot(usize),
+}
+
 /// A deterministic discrete-event calendar.
 ///
 /// ```
@@ -136,6 +198,18 @@ pub struct EventCalendar<E> {
     /// detect tombstones with one u128 compare against this heap's root
     /// instead of a hash probe per delivered event.
     cancelled_keys: BinaryHeap<Reverse<u128>>,
+    /// Same-instant fast lane: zero-delay events, keyed exactly as a heap
+    /// push would key them. Keys are strictly increasing front to back
+    /// (monotone `now`, monotone `seq`), so the front is the lane minimum.
+    fast: VecDeque<(u128, E)>,
+    /// Prediction-slot keys, indexed by `SlotId`; `VACANT` marks an empty
+    /// slot. Kept dense and separate from the payloads so the per-pop min
+    /// scan touches only keys.
+    slot_keys: Vec<u128>,
+    /// Prediction-slot payloads, parallel to `slot_keys`.
+    slot_events: Vec<Option<E>>,
+    /// Number of occupied slots; the min scan is skipped when zero.
+    slots_live: usize,
     next_seq: u64,
     now: SimTime,
 }
@@ -157,6 +231,10 @@ impl<E> EventCalendar<E> {
             // those cleanups ~20x rarer at a cost of a few KiB.
             cancelled: FxHashSet::with_capacity_and_hasher(1024, Default::default()),
             cancelled_keys: BinaryHeap::new(),
+            fast: VecDeque::new(),
+            slot_keys: Vec::new(),
+            slot_events: Vec::new(),
+            slots_live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -184,11 +262,83 @@ impl<E> EventCalendar<E> {
     /// Schedule `event` to fire `delay` after the current clock.
     ///
     /// Hot-path variant of [`schedule`](Self::schedule): `now + delay` can
-    /// never be in the past, so the causality check is skipped.
+    /// never be in the past, so the causality check is skipped. A zero delay
+    /// takes the same-instant fast lane (see
+    /// [`schedule_now`](Self::schedule_now)); delivery order is identical to
+    /// a heap push either way.
     #[inline]
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
-        let time = self.now + delay;
-        self.push(time, event);
+        if delay == SimDuration::ZERO {
+            self.schedule_now(event);
+        } else {
+            self.push(self.now + delay, event);
+        }
+    }
+
+    /// Schedule `event` to fire at the current instant, after every event
+    /// already pending for this instant (FIFO, like any other schedule).
+    ///
+    /// This is the same-instant fast lane: the event is appended to a
+    /// microqueue in O(1) with the exact packed `(now, seq)` key a heap push
+    /// would have assigned, so delivery order is identical to
+    /// `schedule(self.now(), event)` without the heap round-trip.
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.fast.push_back((pack(self.now, seq), event));
+    }
+
+    /// Register a prediction slot: a stable cell holding at most one pending
+    /// event, overwritten in place by [`set_slot`](Self::set_slot). Slots
+    /// are meant for long-lived, frequently superseded predictions (one per
+    /// simulated node resource); register them once at startup.
+    pub fn register_slot(&mut self) -> SlotId {
+        self.slot_keys.push(VACANT);
+        self.slot_events.push(None);
+        SlotId((self.slot_keys.len() - 1) as u32)
+    }
+
+    /// Set `slot`'s pending event, replacing (and dropping) any previous
+    /// one. Consumes one sequence number, exactly like
+    /// [`schedule_keyed`](Self::schedule_keyed) — callers switching a
+    /// cancel+reschedule pattern to `set_slot` keep an identical `next_seq`
+    /// evolution and therefore identical delivery order (see module docs).
+    #[inline]
+    pub fn set_slot(&mut self, slot: SlotId, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "attempt to set slot prediction at {time} before the current clock {now}",
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let i = slot.0 as usize;
+        if self.slot_keys[i] == VACANT {
+            self.slots_live += 1;
+        }
+        self.slot_keys[i] = pack(time, seq);
+        self.slot_events[i] = Some(event);
+    }
+
+    /// Withdraw `slot`'s pending event, if any. Consumes no sequence number
+    /// (the counterpart of `cancel`, which also consumes none).
+    #[inline]
+    pub fn clear_slot(&mut self, slot: SlotId) {
+        let i = slot.0 as usize;
+        if self.slot_keys[i] != VACANT {
+            self.slot_keys[i] = VACANT;
+            self.slot_events[i] = None;
+            self.slots_live -= 1;
+        }
+    }
+
+    /// The instant `slot`'s pending event will fire, or `None` if the slot
+    /// is vacant (never set, cleared, or already delivered by `pop`).
+    #[inline]
+    pub fn slot_time(&self, slot: SlotId) -> Option<SimTime> {
+        let key = self.slot_keys[slot.0 as usize];
+        (key != VACANT).then(|| unpack_time(key))
     }
 
     /// Schedule `event` at `time` and return a token that can later
@@ -238,26 +388,68 @@ impl<E> EventCalendar<E> {
         key
     }
 
-    /// Remove and return the earliest live event, advancing the clock to its
-    /// time. Tombstoned (cancelled) entries are discarded on the way.
+    /// Remove and return the earliest live event — the minimum packed key
+    /// across the heap, the same-instant fast lane, and the prediction
+    /// slots — advancing the clock to its time. Tombstoned (cancelled) heap
+    /// entries are discarded on the way.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let entry = self.pop_top()?;
-            // One u128 compare decides liveness: the popped entry is the
-            // heap minimum, so if it is tombstoned it must be the smallest
-            // tombstoned key (see `cancelled_keys`).
-            if let Some(&Reverse(min)) = self.cancelled_keys.peek() {
-                if entry.key == min {
-                    self.cancelled_keys.pop();
-                    self.cancelled.remove(&(entry.key as u64));
-                    continue; // cancelled: discard and keep looking
+        // Candidate per source; packed keys are globally unique, so the
+        // minimum is unambiguous and the merged order equals the order a
+        // single heap holding every event would produce.
+        let mut best = self.live_root_key().map(|k| (k, Source::Heap));
+        if let Some(&(k, _)) = self.fast.front() {
+            if best.is_none_or(|(bk, _)| k < bk) {
+                best = Some((k, Source::Fast));
+            }
+        }
+        if self.slots_live > 0 {
+            let mut min_k = best.map_or(VACANT, |(bk, _)| bk);
+            let mut min_i = usize::MAX;
+            for (i, &k) in self.slot_keys.iter().enumerate() {
+                if k < min_k {
+                    min_k = k;
+                    min_i = i;
                 }
             }
-            let time = unpack_time(entry.key);
-            debug_assert!(time >= self.now);
-            self.now = time;
-            return Some((time, entry.event));
+            if min_i != usize::MAX {
+                best = Some((min_k, Source::Slot(min_i)));
+            }
         }
+        let (key, source) = best?;
+        let event = match source {
+            Source::Heap => self.pop_top().expect("live root exists").event,
+            Source::Fast => self.fast.pop_front().expect("front exists").1,
+            Source::Slot(i) => {
+                self.slot_keys[i] = VACANT;
+                self.slots_live -= 1;
+                self.slot_events[i].take().expect("occupied slot")
+            }
+        };
+        let time = unpack_time(key);
+        debug_assert!(time >= self.now);
+        self.now = time;
+        Some((time, event))
+    }
+
+    /// The key of the earliest live heap entry, sweeping tombstoned roots
+    /// out of the heap on the way.
+    #[inline]
+    fn live_root_key(&mut self) -> Option<u128> {
+        while let Some(root) = self.heap.first() {
+            // One u128 compare decides liveness: the root is the heap
+            // minimum, so if it is tombstoned it must be the smallest
+            // tombstoned key (see `cancelled_keys`).
+            if let Some(&Reverse(min)) = self.cancelled_keys.peek() {
+                if root.key == min {
+                    self.cancelled_keys.pop();
+                    self.cancelled.remove(&(root.key as u64));
+                    self.pop_top();
+                    continue;
+                }
+            }
+            return Some(root.key);
+        }
+        None
     }
 
     /// Remove the root entry (live or not), restoring the heap property.
@@ -280,24 +472,26 @@ impl<E> EventCalendar<E> {
     /// Takes `&mut self` because tombstoned entries at the root are swept
     /// out of the way first.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(root) = self.heap.first() {
-            if let Some(&Reverse(min)) = self.cancelled_keys.peek() {
-                if root.key == min {
-                    self.cancelled_keys.pop();
-                    self.cancelled.remove(&(root.key as u64));
-                    self.pop_top();
-                    continue;
+        let mut best = self.live_root_key();
+        if let Some(&(k, _)) = self.fast.front() {
+            if best.is_none_or(|bk| k < bk) {
+                best = Some(k);
+            }
+        }
+        if self.slots_live > 0 {
+            for &k in &self.slot_keys {
+                if best.map_or(k != VACANT, |bk| k < bk) {
+                    best = Some(k);
                 }
             }
-            return Some(unpack_time(root.key));
         }
-        None
+        best.map(unpack_time)
     }
 
     #[inline]
     /// Number of live (non-cancelled) entries.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled.len() + self.fast.len() + self.slots_live
     }
 
     #[inline]
@@ -669,6 +863,138 @@ mod tests {
         }
     }
 
+    #[test]
+    fn schedule_now_is_fifo_after_pending_same_instant_events() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(SimTime(10), 0);
+        cal.pop();
+        // Pending heap events at the current instant were scheduled first,
+        // so they carry smaller seqs and must fire before the fast-lane
+        // entries even though the lane is consulted on every pop.
+        cal.schedule(SimTime(10), 1);
+        cal.schedule_now(2);
+        cal.schedule(SimTime(10), 3);
+        cal.schedule_now(4);
+        for want in 1..=4 {
+            assert_eq!(cal.pop(), Some((SimTime(10), want)));
+        }
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn fast_lane_matches_heap_routing_exactly() {
+        // Reference: everything through the heap. Subject: zero delays via
+        // the fast lane. Identical op sequence must pop identically.
+        let mut rng = crate::SimRng::from_seed(0xFA57);
+        let mut heap_only = EventCalendar::new();
+        let mut fast = EventCalendar::new();
+        for i in 0..5_000u64 {
+            if rng.bernoulli(0.5) {
+                let d = SimDuration(rng.uniform_u64(0, 3));
+                heap_only.schedule(heap_only.now() + d, i);
+                fast.schedule_after(d, i);
+            } else {
+                assert_eq!(heap_only.pop(), fast.pop());
+                assert_eq!(heap_only.len(), fast.len());
+            }
+        }
+        loop {
+            let (a, b) = (heap_only.pop(), fast.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn slot_set_clear_and_overwrite() {
+        let mut cal = EventCalendar::new();
+        let s = cal.register_slot();
+        assert_eq!(cal.slot_time(s), None);
+        cal.set_slot(s, SimTime(10), "stale");
+        assert_eq!(cal.slot_time(s), Some(SimTime(10)));
+        assert_eq!(cal.len(), 1);
+        // Overwriting supersedes in place: the stale prediction never fires.
+        cal.set_slot(s, SimTime(5), "fresh");
+        assert_eq!(cal.slot_time(s), Some(SimTime(5)));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop(), Some((SimTime(5), "fresh")));
+        assert_eq!(cal.slot_time(s), None, "delivery vacates the slot");
+        cal.set_slot(s, SimTime(9), "cleared");
+        cal.clear_slot(s);
+        assert_eq!(cal.pop(), None);
+        assert!(cal.is_empty());
+        cal.clear_slot(s); // clearing a vacant slot is a no-op
+    }
+
+    #[test]
+    fn slot_events_interleave_with_heap_and_fast_lane() {
+        let mut cal = EventCalendar::new();
+        let s = cal.register_slot();
+        cal.schedule(SimTime(10), 1); // seq 0
+        cal.set_slot(s, SimTime(10), 2); // seq 1
+        cal.schedule(SimTime(10), 3); // seq 2
+        assert_eq!(cal.peek_time(), Some(SimTime(10)));
+        assert_eq!(cal.pop(), Some((SimTime(10), 1)));
+        cal.schedule_now(4); // seq 3
+        assert_eq!(cal.pop(), Some((SimTime(10), 2)));
+        assert_eq!(cal.pop(), Some((SimTime(10), 3)));
+        assert_eq!(cal.pop(), Some((SimTime(10), 4)));
+        assert_eq!(cal.pop(), None);
+    }
+
+    /// The seq-parity equivalence the simulator's switch to slots rides on:
+    /// a cancel+reschedule prediction pattern and the slot version of the
+    /// same decisions produce bit-identical pop sequences.
+    #[test]
+    fn slots_match_cancel_reschedule_reference() {
+        let mut rng = crate::SimRng::from_seed(0x5107);
+        let mut reference = EventCalendar::new();
+        let mut subject = EventCalendar::new();
+        let slots: Vec<SlotId> = (0..4).map(|_| subject.register_slot()).collect();
+        let mut tokens: Vec<Option<EventToken>> = vec![None; 4];
+        for i in 0..10_000u64 {
+            match rng.uniform_u64(0, 3) {
+                0 => {
+                    // Re-predict resource k's completion (supersede if set).
+                    let k = rng.index(4);
+                    let at = reference.now() + SimDuration(rng.uniform_u64(0, 40));
+                    if let Some(tok) = tokens[k].take() {
+                        reference.cancel(tok);
+                    }
+                    tokens[k] = Some(reference.schedule_keyed(at, k as u64));
+                    subject.set_slot(slots[k], at, k as u64);
+                }
+                1 => {
+                    // Withdraw resource k's prediction.
+                    let k = rng.index(4);
+                    if let Some(tok) = tokens[k].take() {
+                        reference.cancel(tok);
+                    }
+                    subject.clear_slot(slots[k]);
+                }
+                2 => {
+                    // Ordinary one-shot event traffic.
+                    let d = SimDuration(rng.uniform_u64(0, 40));
+                    reference.schedule(reference.now() + d, 100 + i);
+                    subject.schedule_after(d, 100 + i);
+                }
+                _ => {
+                    let got = subject.pop();
+                    assert_eq!(reference.pop(), got);
+                    assert_eq!(reference.len(), subject.len());
+                    // A delivered prediction's token is spent.
+                    if let Some((_, e)) = got {
+                        if e < 4 {
+                            tokens[e as usize] = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Payloads with heap allocations must be dropped exactly once through
     /// the unsafe hole sifts and lazy cancellation.
     #[test]
@@ -685,11 +1011,24 @@ mod tests {
                 assert!(cal.cancel(*t));
             }
         }
+        // Fast-lane and slot payloads must obey the same single-drop rule,
+        // including undelivered ones dropped with the calendar.
+        cal.schedule_now(Rc::clone(&counter));
+        cal.schedule_now(Rc::clone(&counter));
+        let s = cal.register_slot();
+        cal.set_slot(s, SimTime(50), Rc::clone(&counter));
+        cal.set_slot(s, SimTime(60), Rc::clone(&counter)); // supersedes
         let mut delivered = 0;
+        for _ in 0..3 {
+            assert!(cal.pop().is_some());
+            delivered += 1;
+        }
+        let undelivered = cal.register_slot();
+        cal.set_slot(undelivered, SimTime(90), Rc::clone(&counter));
         while cal.pop().is_some() {
             delivered += 1;
         }
-        assert_eq!(delivered, 100 - 34);
+        assert_eq!(delivered, 100 - 34 + 3 + 1);
         drop(cal);
         assert_eq!(Rc::strong_count(&counter), 1, "payloads leaked");
     }

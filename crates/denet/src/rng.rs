@@ -146,7 +146,19 @@ impl SimRng {
     /// Sample `k` distinct values from `[0, n)` (simple partial
     /// Fisher–Yates; `k <= n`). Returned in selection order.
     pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.sample_distinct_into(n, k, &mut out);
+        out
+    }
+
+    /// [`sample_distinct`](Self::sample_distinct) into a caller-owned
+    /// buffer (cleared first), so hot callers that sample repeatedly do not
+    /// allocate. Draws the identical RNG sequence and produces the
+    /// identical values.
+    pub fn sample_distinct_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        out.clear();
+        out.reserve(k);
         // Sparse partial Fisher–Yates: identical RNG draws and identical
         // output to shuffling a materialized `0..n` pool, but only the up to
         // `k` displaced entries are tracked, so the cost is O(k²) in the
@@ -154,7 +166,17 @@ impl SimRng {
         // workload generator samples ~8 pages from files of hundreds.
         // `displaced` records (position, value) overwrites; the latest entry
         // for a position wins, and absent positions still hold their index.
-        let mut displaced: Vec<(usize, usize)> = Vec::with_capacity(k);
+        // Samples that small live in a stack buffer; larger ones (outside
+        // the simulator's hot path) fall back to a heap scratch.
+        const STACK: usize = 32;
+        let mut stack_buf = [(0usize, 0usize); STACK];
+        let mut heap_buf: Vec<(usize, usize)>;
+        let displaced: &mut [(usize, usize)] = if k <= STACK {
+            &mut stack_buf
+        } else {
+            heap_buf = vec![(0, 0); k];
+            &mut heap_buf
+        };
         fn value_at(displaced: &[(usize, usize)], idx: usize) -> usize {
             displaced
                 .iter()
@@ -162,14 +184,13 @@ impl SimRng {
                 .find(|(p, _)| *p == idx)
                 .map_or(idx, |(_, v)| *v)
         }
-        let mut out = Vec::with_capacity(k);
+        // Exactly `i` entries are recorded when drawing element `i`.
         for i in 0..k {
             let j = i + self.below((n - i) as u64) as usize;
-            out.push(value_at(&displaced, j));
-            let vi = value_at(&displaced, i);
-            displaced.push((j, vi));
+            out.push(value_at(&displaced[..i], j));
+            let vi = value_at(&displaced[..i], i);
+            displaced[i] = (j, vi);
         }
-        out
     }
 
     /// Choose an index according to a discrete probability vector.
@@ -307,6 +328,22 @@ mod tests {
         let mut s = r.sample_distinct(5, 5);
         s.sort_unstable();
         assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_distinct_into_matches_and_reuses_buffer() {
+        let mut a = SimRng::from_seed(29);
+        let mut b = SimRng::from_seed(29);
+        let mut buf = Vec::new();
+        // Cover both the stack-scratch path (k <= 32) and the heap fallback.
+        for k in [0usize, 1, 8, 31, 33, 64] {
+            let v = a.sample_distinct(100, k);
+            b.sample_distinct_into(100, k, &mut buf);
+            assert_eq!(v, buf, "k = {k}");
+        }
+        let cap = buf.capacity();
+        b.sample_distinct_into(100, 8, &mut buf);
+        assert_eq!(buf.capacity(), cap, "reused buffer must not reallocate");
     }
 
     #[test]

@@ -726,7 +726,9 @@ impl BatchMeans {
             batch_size,
             current_sum: 0.0,
             current_count: 0,
-            batch_means: Vec::new(),
+            // Pre-sized so short measurement runs complete batches without
+            // ever touching the allocator (longer runs grow as usual).
+            batch_means: Vec::with_capacity(64),
         }
     }
 

@@ -223,6 +223,130 @@ proptest! {
     }
 }
 
+/// One step of the fast-lane/slot vs heap-only equivalence interleaving.
+#[derive(Debug, Clone)]
+enum LaneOp {
+    /// `schedule_after(delay)` — zero delays take the microqueue on the
+    /// subject and the heap on the reference.
+    After(u64),
+    /// `schedule_now` on the subject; `schedule(now)` on the reference.
+    Now,
+    /// `schedule_keyed` on both, retaining the token.
+    Keyed(u64),
+    /// Cancel the pending token at `index % pending.len()` on both.
+    Cancel(usize),
+    /// Re-predict slot `k`: `set_slot` on the subject, cancel+`schedule_keyed`
+    /// on the reference.
+    SetSlot(usize, u64),
+    /// Withdraw slot `k`: `clear_slot` on the subject, cancel on the
+    /// reference.
+    ClearSlot(usize),
+    /// Pop once from both and compare.
+    Pop,
+}
+
+fn lane_op_strategy() -> impl Strategy<Value = LaneOp> {
+    prop_oneof![
+        3 => (0u64..30).prop_map(LaneOp::After),
+        2 => Just(LaneOp::Now),
+        2 => (0u64..30).prop_map(LaneOp::Keyed),
+        1 => (0usize..1024).prop_map(LaneOp::Cancel),
+        3 => ((0usize..4), (0u64..30)).prop_map(|(k, d)| LaneOp::SetSlot(k, d)),
+        1 => (0usize..4).prop_map(LaneOp::ClearSlot),
+        4 => Just(LaneOp::Pop),
+    ]
+}
+
+const SLOT_BASE: u64 = 1 << 40;
+
+proptest! {
+    /// Tentpole equivalence: for arbitrary mixes of zero-delay events,
+    /// delayed events, cancellation tokens, and slot predictions, a
+    /// calendar using the same-instant fast lane and prediction slots pops
+    /// the exact sequence a heap-only calendar (plain `schedule` /
+    /// `schedule_keyed` + `cancel`) produces.
+    #[test]
+    fn fast_lane_and_slots_match_heap_only_reference(
+        ops in prop::collection::vec(lane_op_strategy(), 1..300),
+    ) {
+        let mut subject: EventCalendar<u64> = EventCalendar::new();
+        let mut reference: EventCalendar<u64> = EventCalendar::new();
+        let slots: Vec<_> = (0..4).map(|_| subject.register_slot()).collect();
+        let mut slot_tokens: Vec<Option<EventToken>> = vec![None; 4];
+        let mut pending: Vec<(EventToken, u64)> = Vec::new();
+        let mut arrivals: u64 = 0;
+
+        for op in ops {
+            match op {
+                LaneOp::After(delay_us) => {
+                    let d = SimDuration::from_micros(delay_us);
+                    reference.schedule(reference.now() + d, arrivals);
+                    subject.schedule_after(d, arrivals);
+                    arrivals += 1;
+                }
+                LaneOp::Now => {
+                    reference.schedule(reference.now(), arrivals);
+                    subject.schedule_now(arrivals);
+                    arrivals += 1;
+                }
+                LaneOp::Keyed(delay_us) => {
+                    let at = reference.now() + SimDuration::from_micros(delay_us);
+                    let rt = reference.schedule_keyed(at, arrivals);
+                    let st = subject.schedule_keyed(at, arrivals);
+                    prop_assert_eq!(rt, st, "token keys diverged");
+                    pending.push((rt, arrivals));
+                    arrivals += 1;
+                }
+                LaneOp::Cancel(index) => {
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let (tok, _) = pending.swap_remove(index % pending.len());
+                    prop_assert!(reference.cancel(tok));
+                    prop_assert!(subject.cancel(tok));
+                }
+                LaneOp::SetSlot(k, delay_us) => {
+                    let at = reference.now() + SimDuration::from_micros(delay_us);
+                    if let Some(tok) = slot_tokens[k].take() {
+                        reference.cancel(tok);
+                    }
+                    slot_tokens[k] = Some(reference.schedule_keyed(at, SLOT_BASE + k as u64));
+                    subject.set_slot(slots[k], at, SLOT_BASE + k as u64);
+                }
+                LaneOp::ClearSlot(k) => {
+                    if let Some(tok) = slot_tokens[k].take() {
+                        reference.cancel(tok);
+                    }
+                    subject.clear_slot(slots[k]);
+                }
+                LaneOp::Pop => {
+                    let expected = reference.pop();
+                    let got = subject.pop();
+                    prop_assert_eq!(got, expected, "pop diverged from heap-only reference");
+                    if let Some((_, id)) = got {
+                        if id >= SLOT_BASE {
+                            slot_tokens[(id - SLOT_BASE) as usize] = None;
+                        } else {
+                            pending.retain(|(_, p)| *p != id);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(subject.len(), reference.len(), "live-event counts diverged");
+            prop_assert_eq!(subject.peek_time(), reference.peek_time());
+        }
+
+        loop {
+            let expected = reference.pop();
+            let got = subject.pop();
+            prop_assert_eq!(got, expected);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// Value sets spanning the histogram's exact region (below `2^sub_bits`)
 /// and several orders of magnitude of the logarithmic region.
 fn hist_values() -> impl Strategy<Value = Vec<u64>> {

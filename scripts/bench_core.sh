@@ -19,9 +19,15 @@ trap 'rm -f "$raw"' EXIT
 
 CRITERION_JSON="$raw" cargo bench --offline -p bench -- "$@" >&2
 
-python3 - "$raw" <<'EOF'
+# Record where the numbers came from: medians are only comparable on the
+# same core count / kernel / architecture, so a snapshot carries that
+# context in `_meta` (no hostname — snapshots are committed).
+cores=$(nproc)
+host=$(uname -srm)
+
+python3 - "$raw" "$cores" "$host" <<'EOF'
 import json, sys
-out = {}
+out = {"_meta": {"cores": int(sys.argv[2]), "host": sys.argv[3]}}
 for line in open(sys.argv[1]):
     line = line.strip()
     if line:

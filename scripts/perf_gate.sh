@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Whole-simulation perf gate.
+#
+# Runs the `simulation_240_commits` bench group N times, takes the
+# per-bench minimum (the noise-robust estimator), and fails if ANY bench
+# exceeds its committed baseline in BENCH_core.json's "after" snapshot by
+# more than PERF_GATE_TOL (default 15%).
+#
+# Unlike scripts/trace_overhead.sh — which normalizes out machine speed to
+# catch small *localized* regressions — this gate compares raw medians, so
+# it also catches a uniform slowdown of the whole simulator (a pessimized
+# hot path hits every algorithm equally and would survive normalization).
+# The 15% bound is intentionally wide: it absorbs typical runner-to-runner
+# drift while still catching the class of regression that matters
+# (BENCH_core.json `_meta` records the baseline machine for comparison).
+# Like scripts/trace_overhead.sh, the bound additionally widens by the
+# machine's demonstrated same-run noise floor (the median rep-to-rep
+# spread within this invocation), so a quiet CI runner is held close to
+# 15% while a noisy shared box doesn't flake.
+#
+# Usage:
+#   scripts/perf_gate.sh
+#
+# Environment:
+#   PERF_GATE_RUNS  bench repetitions to take the minimum over (10)
+#   PERF_GATE_TOL   allowed regression vs the committed baseline (0.15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+runs="${PERF_GATE_RUNS:-10}"
+for _ in $(seq "$runs"); do
+    CRITERION_JSON="$raw" cargo bench --offline -p bench -- \
+        "simulation_240_commits/" >&2
+done
+
+python3 - "$raw" <<'EOF'
+import json, os, sys
+
+tol = float(os.environ.get("PERF_GATE_TOL", "0.15"))
+
+measured = {}
+reps = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line:
+        rec = json.loads(line)
+        ns = rec["ns_per_iter"]
+        measured[rec["name"]] = min(ns, measured.get(rec["name"], ns))
+        reps.setdefault(rec["name"], []).append(ns)
+
+# The machine's demonstrated noise floor: median over benches of the
+# rep-to-rep spread within THIS run (same estimator as
+# scripts/trace_overhead.sh).
+spreads = sorted(max(v) / min(v) - 1.0 for v in reps.values() if len(v) > 1)
+noise = spreads[len(spreads) // 2] if spreads else 0.0
+tol += noise
+
+baseline = json.load(open("BENCH_core.json"))["after"]
+rows = {
+    name: ns
+    for name, ns in baseline.items()
+    if name.startswith("simulation_240_commits/")
+}
+if not rows:
+    print("perf_gate: no simulation_240_commits rows in BENCH_core.json", file=sys.stderr)
+    sys.exit(1)
+
+failed = False
+print(f"whole-sim medians vs BENCH_core.json after (noise floor {noise:.1%}, bound +{tol:.0%}):")
+for name, base in sorted(rows.items()):
+    if name not in measured:
+        print(f"  {name:42s} MISSING from this run", file=sys.stderr)
+        failed = True
+        continue
+    rel = measured[name] / base - 1.0
+    flag = ""
+    if rel > tol:
+        flag = f"  REGRESSION > {tol:.0%}"
+        failed = True
+    print(f"  {name:42s} {rel:+7.2%}{flag}")
+
+if failed:
+    print(f"FAIL: whole-sim median regresses more than {tol:.0%}", file=sys.stderr)
+    sys.exit(1)
+print("OK: all whole-sim medians within the gate")
+EOF

@@ -235,6 +235,21 @@ impl Serialize for str {
     }
 }
 
+// `Value` round-trips through itself, so callers can deserialize JSON of
+// unknown or partially known shape (like the real crate's
+// `serde_json::Value`) and walk the tree by hand.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
